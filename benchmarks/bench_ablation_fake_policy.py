@@ -1,0 +1,33 @@
+"""Challenge-2 ablation: least-recently-accessed vs uniform-random
+fake-query selection.
+
+Not a paper figure — it isolates the design choice §4 (Challenge 2)
+argues for: picking least-recently-accessed objects for fake queries is
+what bounds α.  Uniform-random selection leaves a tail of objects
+unvisited for arbitrarily long, so the observed max α blows past the
+least-recent policy's bound.
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import ablation_fake_policy
+
+
+def run() -> dict:
+    return ablation_fake_policy(n=4096, rounds=1200, seed=59)
+
+
+def test_ablation_fake_policy(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join([
+        "Fake-query selection policy ablation (N=4096, 1200 rounds)",
+        f"  least_recent: max alpha {out['least_recent']['max_alpha']} "
+        f"(bound {out['least_recent']['bound']}), "
+        f"unread ids {out['least_recent']['unread_ids']}",
+        f"  uniform     : max alpha {out['uniform']['max_alpha']} "
+        f"(no bound holds), unread ids {out['uniform']['unread_ids']}",
+    ])
+    publish("ablation_fake_policy", text)
+
+    assert out["least_recent"]["max_alpha"] <= out["least_recent"]["bound"]
+    assert out["uniform"]["max_alpha"] > 1.5 * out["least_recent"]["max_alpha"]

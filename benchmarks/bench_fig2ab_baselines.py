@@ -1,0 +1,45 @@
+"""Figure 2a/2b: Waffle vs insecure baseline, Pancake, TaoStore.
+
+Paper (N=2^20, single-core proxies, YCSB A & C, Zipf 0.99):
+  insecure 5.8-6.04x Waffle's throughput; Waffle 45.5-57.7% above
+  Pancake; Waffle 102x above TaoStore; latency insecure < Waffle (<1ms)
+  < Pancake < TaoStore (~300ms).
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import DEFAULT_N, fig2ab_baselines
+from repro.bench.reporting import format_table
+
+
+def run() -> list[dict]:
+    return fig2ab_baselines(n=DEFAULT_N, rounds=120)
+
+
+def test_fig2ab(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {(row["workload"], row["system"]): row for row in rows}
+    lines = [format_table(rows, title="Figure 2a/2b - baselines "
+                                      f"(N={DEFAULT_N}, scaled)")]
+    for workload in ("YCSB-A", "YCSB-C"):
+        waffle = by[(workload, "waffle")]["throughput_ops"]
+        lines.append(
+            f"{workload}: insecure/waffle = "
+            f"{by[(workload, 'insecure')]['throughput_ops'] / waffle:.2f} "
+            "(paper 5.8-6.04) | waffle/pancake = "
+            f"{waffle / by[(workload, 'pancake')]['throughput_ops']:.2f} "
+            "(paper 1.455-1.577) | waffle/taostore = "
+            f"{waffle / by[(workload, 'taostore')]['throughput_ops']:.0f} "
+            "(paper 102)"
+        )
+    publish("fig2ab_baselines", "\n".join(lines))
+
+    for workload in ("YCSB-A", "YCSB-C"):
+        waffle = by[(workload, "waffle")]
+        assert by[(workload, "insecure")]["throughput_ops"] > \
+            waffle["throughput_ops"]
+        assert waffle["throughput_ops"] > \
+            by[(workload, "pancake")]["throughput_ops"]
+        assert waffle["throughput_ops"] > \
+            50 * by[(workload, "taostore")]["throughput_ops"]
+        assert by[(workload, "taostore")]["latency_ms"] > 100

@@ -1,0 +1,36 @@
+"""Figure 2c: Waffle throughput/latency vs proxy core count.
+
+Paper: +58.9% throughput and -37.2% latency from 1 to 4 cores; beyond 4
+cores multi-threading overwhelms the proxy and throughput drops ~40%.
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import DEFAULT_N, fig2c_cores
+from repro.bench.reporting import format_series, format_table
+
+
+def run() -> list[dict]:
+    return fig2c_cores(n=DEFAULT_N, rounds=60)
+
+
+def test_fig2c(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_cores = {row["cores"]: row for row in rows}
+    gain = (by_cores[4]["throughput_ops"] / by_cores[1]["throughput_ops"]
+            - 1) * 100
+    drop = (1 - by_cores[8]["throughput_ops"]
+            / by_cores[4]["throughput_ops"]) * 100
+    text = "\n".join([
+        format_table(rows, title=f"Figure 2c - cores (N={DEFAULT_N})"),
+        format_series(rows, "cores", "throughput_ops"),
+        f"1->4 cores: +{gain:.1f}% (paper +58.9%); "
+        f"4->8 cores: -{drop:.1f}% (paper ~-40%)",
+    ])
+    publish("fig2c_cores", text)
+
+    assert by_cores[4]["throughput_ops"] > by_cores[1]["throughput_ops"]
+    assert by_cores[4]["throughput_ops"] > by_cores[8]["throughput_ops"]
+    assert by_cores[4]["latency_ms"] < by_cores[1]["latency_ms"]
+    assert 30 < gain < 90
+    assert 20 < drop < 60

@@ -1,0 +1,33 @@
+"""Figure 3b: throughput vs R (the real-request share of the batch).
+
+Paper: throughput improves 5.8x as R grows from 10% to 80% of B —
+more client requests per round, fewer fake queries — while security
+(α) favours lower R.
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import DEFAULT_N, fig3b_real_fraction
+from repro.bench.reporting import format_series, format_table
+
+
+def run() -> list[dict]:
+    return fig3b_real_fraction(n=DEFAULT_N, rounds=60)
+
+
+def test_fig3b(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    improvement = rows[-1]["throughput_ops"] / rows[0]["throughput_ops"]
+    text = "\n".join([
+        format_table(rows, title=f"Figure 3b - R share (N={DEFAULT_N})"),
+        format_series(rows, "real_pct", "throughput_ops"),
+        f"10% -> ~80%: {improvement:.2f}x (paper 5.8x)",
+    ])
+    publish("fig3b_real_fraction", text)
+
+    values = [row["throughput_ops"] for row in rows]
+    assert values == sorted(values)
+    assert improvement > 4.0
+    # The security cost: alpha (theoretical) grows with R.
+    alphas = [row["alpha_bound"] for row in rows]
+    assert alphas == sorted(alphas)

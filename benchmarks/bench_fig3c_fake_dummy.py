@@ -1,0 +1,30 @@
+"""Figure 3c: throughput vs f_D (fake-dummy share of the batch).
+
+Paper: throughput improves as f_D grows from 10% to 60% of B — dummy
+objects are never cached, so larger f_D means fewer cache
+insertions/evictions per round — while α favours lower f_D.
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import DEFAULT_N, fig3c_fake_dummy
+from repro.bench.reporting import format_series, format_table
+
+
+def run() -> list[dict]:
+    return fig3c_fake_dummy(n=DEFAULT_N, rounds=60)
+
+
+def test_fig3c(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join([
+        format_table(rows, title=f"Figure 3c - f_D share (N={DEFAULT_N})"),
+        format_series(rows, "fake_dummy_pct", "throughput_ops"),
+    ])
+    publish("fig3c_fake_dummy", text)
+
+    values = [row["throughput_ops"] for row in rows]
+    assert values[-1] > values[0]
+    assert values == sorted(values)
+    alphas = [row["alpha_bound"] for row in rows]
+    assert alphas == sorted(alphas)  # the security price of larger f_D

@@ -1,0 +1,26 @@
+"""Figure 3d: throughput vs number of dummy objects D (20%..100% of N).
+
+Paper: D has no significant effect — only the dummy BST depends on it
+and dummies are never cached.
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import DEFAULT_N, fig3d_num_dummies
+from repro.bench.reporting import format_series, format_table
+
+
+def run() -> list[dict]:
+    return fig3d_num_dummies(n=DEFAULT_N, rounds=60)
+
+
+def test_fig3d(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join([
+        format_table(rows, title=f"Figure 3d - dummy count (N={DEFAULT_N})"),
+        format_series(rows, "dummies_pct_of_n", "throughput_ops"),
+    ])
+    publish("fig3d_num_dummies", text)
+
+    values = [row["throughput_ops"] for row in rows]
+    assert max(values) / min(values) < 1.05  # flat

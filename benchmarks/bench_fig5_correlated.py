@@ -1,0 +1,39 @@
+"""Figure 5: α histograms under correlated vs independent queries.
+
+Paper (N=500, B=100, f_D=20, C=2%, D=200, IHOP clickstream): with
+R=20% of B the α values differ for ~0.8% of requests (8.3 kops/s);
+with R=40% they differ for ~3% (15.2 kops/s) — lower R buys more
+obliviousness for correlated inputs at a throughput cost.
+"""
+
+from conftest import publish
+
+from repro.bench.experiments import fig5_correlated
+from repro.bench.reporting import format_table
+
+
+def run() -> list[dict]:
+    return fig5_correlated(n=500, requests=50_000)
+
+
+def test_fig5(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    display = [{key: row[key] for key in
+                ("r_pct", "differing_fraction", "mean_bucket_difference",
+                 "throughput_ops")} for row in rows]
+    text = "\n".join([
+        format_table(display,
+                     title="Figure 5 - correlated queries (N=500, B=100, "
+                           "f_D=20, C=2%, D=200)"),
+        "paper: R=20% -> ~0.8% differ, R=40% -> ~3% differ",
+    ])
+    publish("fig5_correlated", text)
+
+    by_r = {row["r_pct"]: row for row in rows}
+    # Histograms stay close under correlation (obliviousness holds).
+    assert by_r[20]["differing_fraction"] < 0.15
+    assert by_r[40]["differing_fraction"] < 0.25
+    # Lower R = more oblivious; higher R = faster (the paper's trade-off).
+    assert by_r[20]["differing_fraction"] <= \
+        by_r[40]["differing_fraction"] + 0.02
+    assert by_r[40]["throughput_ops"] > by_r[20]["throughput_ops"]

@@ -1,0 +1,31 @@
+"""Figure 6: security (theoretical α) vs throughput over an R/f_D grid.
+
+Paper: lower α (more security) entails lower throughput; the R/f_D
+grid traces the frontier an operator tunes along (§8.4).
+"""
+
+import numpy as np
+from conftest import publish
+
+from repro.bench.experiments import DEFAULT_N, fig6_tradeoff
+from repro.bench.reporting import format_table
+
+
+def run() -> list[dict]:
+    return fig6_tradeoff(n=DEFAULT_N, rounds=40)
+
+
+def test_fig6(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows, title=f"Figure 6 - security vs performance (N={DEFAULT_N}, "
+                    "sorted by theoretical alpha)")
+    publish("fig6_tradeoff", text)
+
+    alphas = np.array([row["alpha_theory"] for row in rows], float)
+    throughputs = np.array([row["throughput_ops"] for row in rows], float)
+    # Positive rank correlation: lower alpha (more secure) <-> slower.
+    correlation = np.corrcoef(np.argsort(np.argsort(alphas)),
+                              np.argsort(np.argsort(throughputs)))[0, 1]
+    assert correlation > 0.5
+    assert throughputs[0] < throughputs[-1]

@@ -1,0 +1,71 @@
+"""Latency percentiles under closed-loop load (beyond the paper's means).
+
+The paper reports average latency only.  This bench derives Waffle's
+round time from a real protocol run (cost model), then drives a
+closed-loop client population through the queueing simulator to obtain
+p50/p95/p99: under saturation latency grows linearly with the client
+population (batches queue), and under light load the round-timeout
+dominates — both effects an operator sizing R against their offered
+load needs to see.
+"""
+
+from conftest import publish
+
+from repro.bench.harness import run_waffle, waffle_round_time
+from repro.bench.reporting import format_table
+from repro.core.config import WaffleConfig
+from repro.sim.closedloop import simulate_closed_loop
+from repro.sim.costmodel import CostModel
+from repro.workloads.ycsb import workload_c
+
+N = 2**13
+
+
+def run() -> list[dict]:
+    config = WaffleConfig.paper_defaults(n=N, seed=3)
+    workload = workload_c(N, seed=5, value_size=1000)
+    items = dict(workload.initial_records())
+    cost = CostModel(cores=4)
+    _, datastore = run_waffle(config, items,
+                              workload.trace(config.r * 30), cost)
+    round_time = sum(
+        waffle_round_time(stats, config, cost)
+        for stats in datastore.proxy.totals.stats_by_round
+    ) / datastore.proxy.totals.rounds
+
+    rows = []
+    for clients in (2, config.r, 4 * config.r, 16 * config.r):
+        result = simulate_closed_loop(
+            round_time_s=round_time, batch_capacity=config.r,
+            clients=clients, duration_s=20.0,
+            think_time_s=round_time / 2, exponential_think=True, seed=17,
+        )
+        rows.append({
+            "clients": clients,
+            "throughput_ops": result.throughput_ops,
+            "p50_ms": result.latency.p50 * 1e3,
+            "p95_ms": result.latency.p95 * 1e3,
+            "p99_ms": result.latency.p99 * 1e3,
+            "timeout_dispatches": result.timeout_dispatches,
+        })
+    return rows
+
+
+def test_latency_closedloop(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows, title=f"Closed-loop latency percentiles (N={N}, "
+                    "round time from the calibrated cost model)")
+    publish("latency_closedloop", text)
+
+    by = {row["clients"]: row for row in rows}
+    populations = sorted(by)
+    # Throughput saturates; tail latency keeps growing with queueing.
+    assert by[populations[-1]]["p99_ms"] > by[populations[1]]["p99_ms"]
+    assert by[populations[-1]]["throughput_ops"] == \
+        max(row["throughput_ops"] for row in rows)
+    # Underload (2 clients < R) is served via timeout dispatches.
+    assert by[2]["timeout_dispatches"] > 0
+    # Percentile sanity.
+    for row in rows:
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]

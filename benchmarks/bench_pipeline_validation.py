@@ -1,0 +1,50 @@
+"""Pipeline validation: the DES mechanism vs the analytic core curve.
+
+Figure 2c's core-scaling shape enters the cost model as an analytic
+curve; this bench runs the discrete-event pipeline model (shared proxy
+lock + contention growth + per-worker coordination) at the same
+configuration and prints the two side by side.  Agreement in shape —
+interior peak, post-peak decline to near/below single-core — shows the
+analytic curve summarizes a mechanism, not a fudge.
+"""
+
+from conftest import publish
+
+from repro.bench.reporting import format_table
+from repro.core.config import WaffleConfig
+from repro.sim.costmodel import CostModel
+from repro.sim.pipeline import model_from_cost, speedup_curve
+
+N = 2**14
+
+
+def run() -> list[dict]:
+    config = WaffleConfig.paper_defaults(n=N, seed=1)
+    cost = CostModel()
+    des = speedup_curve(model_from_cost(config, cost))
+    return [
+        {
+            "workers": count,
+            "des_speedup": des[count],
+            "analytic_efficiency": cost.core_efficiency(count),
+        }
+        for count in sorted(des)
+    ]
+
+
+def test_pipeline_validation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows, title="Proxy pipeline DES vs analytic core curve "
+                    f"(N={N}; paper Figure 2c peaks at 4 cores)")
+    publish("pipeline_validation", text)
+
+    des = {row["workers"]: row["des_speedup"] for row in rows}
+    analytic = {row["workers"]: row["analytic_efficiency"] for row in rows}
+    des_peak = max(des, key=lambda c: des[c])
+    analytic_peak = max(analytic, key=lambda c: analytic[c])
+    assert 2 <= des_peak <= 6
+    assert analytic_peak == 4
+    # Both decline substantially past their peaks.
+    assert des[12] < 0.6 * des[des_peak]
+    assert analytic[12] < 0.6 * analytic[analytic_peak]

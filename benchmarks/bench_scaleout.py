@@ -1,0 +1,91 @@
+"""Scale-out ablation (the paper's §10 future work): throughput vs
+partition count.
+
+Partitions are independent Waffle instances on disjoint key ranges, so
+they run in parallel on separate proxy machines; aggregate throughput
+should scale near-linearly while every partition keeps its own α/β
+guarantees (verified in tests/test_scaleout.py).
+"""
+
+from conftest import publish
+
+from repro.bench.harness import waffle_round_time
+from repro.bench.reporting import format_table
+from repro.core.batch import request_from_trace  # noqa: F401
+from repro.core.config import WaffleConfig
+from repro.scaleout import PartitionedWaffle
+from repro.sim.costmodel import CostModel
+from repro.workloads.ycsb import workload_c
+
+PER_PARTITION = 2048
+CONFIG = WaffleConfig.paper_defaults(n=PER_PARTITION, seed=3)
+
+
+def run_partitions(partitions: int, requests: int = 6000,
+                   uniform: bool = True) -> dict:
+    candidates = (f"user{i:08d}" for i in range(10_000_000))
+    keys = PartitionedWaffle.plan_partitions(candidates, PER_PARTITION,
+                                             partitions, master_seed=11)
+    items = {key: b"v" * 256 for key in keys}
+    store = PartitionedWaffle(CONFIG, items, partitions, master_seed=11)
+    cost = CostModel(cores=4)
+
+    # Zipf workload over the union of keys (sample indices, map to the
+    # partition-planned key names).
+    from repro.core.batch import ClientRequest
+    from repro.workloads.trace import Operation
+
+    workload = workload_c(len(keys), seed=7, value_size=256,
+                          uniform=uniform)
+    key_list = sorted(items)
+    trace = [
+        ClientRequest(op=Operation.READ,
+                      key=key_list[int(req.key[4:]) % len(key_list)])
+        for req in workload.trace(requests)
+    ]
+
+    # Route in R-sized waves; each partition's simulated time accrues
+    # independently (separate proxy machines run in parallel).
+    partition_time = [0.0] * partitions
+    wave = CONFIG.r * partitions * 10  # amortize partial final rounds
+    for start in range(0, len(trace), wave):
+        chunk = trace[start: start + wave]
+        rounds_before = [s.proxy.totals.rounds for s in store.stores]
+        store.execute_batch(chunk)
+        for index, datastore in enumerate(store.stores):
+            for stats in datastore.proxy.totals.stats_by_round[
+                    rounds_before[index]:]:
+                partition_time[index] += waffle_round_time(stats, CONFIG,
+                                                           cost)
+    makespan = max(partition_time)
+    return {
+        "partitions": partitions,
+        "workload": "uniform" if uniform else "zipf-0.99",
+        "throughput_ops": len(trace) / makespan if makespan else 0.0,
+        "slowest_partition_s": makespan,
+    }
+
+
+def run() -> list[dict]:
+    rows = [run_partitions(p, uniform=True) for p in (1, 2, 4)]
+    # The skewed contrast: Zipf load imbalance caps the speedup — the
+    # scaling cost the paper's future-work section would have to face.
+    rows.append(run_partitions(4, uniform=False))
+    return rows
+
+
+def test_scaleout(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = rows[0]["throughput_ops"]
+    for row in rows:
+        row["speedup"] = row["throughput_ops"] / base
+    text = format_table(
+        rows, title=f"Scale-out ablation (N={PER_PARTITION}/partition)")
+    publish("scaleout", text)
+
+    by = {(row["partitions"], row["workload"]): row for row in rows}
+    assert by[(2, "uniform")]["speedup"] > 1.6
+    assert by[(4, "uniform")]["speedup"] > 2.8
+    # Skew costs scaling: the Zipf run trails the uniform 4-way run.
+    assert by[(4, "zipf-0.99")]["throughput_ops"] < \
+        by[(4, "uniform")]["throughput_ops"]

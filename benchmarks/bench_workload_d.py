@@ -1,0 +1,62 @@
+"""YCSB workload D (read-latest + inserts): the mutation path under load.
+
+Not a paper figure — the paper only sketches insert/delete support
+(§6.2 end).  This bench measures the cost of that support: Waffle under
+workload D (95% reads of recent records, 5% inserts through the
+dummy-swap path) against the same datastore running the read-only
+workload C, plus the dummy-budget depletion it causes.
+"""
+
+from conftest import publish
+
+from repro.bench.harness import run_waffle, run_waffle_with_inserts
+from repro.bench.reporting import format_table
+from repro.core.config import WaffleConfig
+from repro.sim.costmodel import CostModel
+from repro.workloads.ycsb import workload_c, workload_d
+
+N = 2**12
+
+
+def run() -> list[dict]:
+    cost = CostModel(cores=4)
+    rows = []
+
+    config = WaffleConfig.paper_defaults(n=N, seed=3)
+    base = workload_c(N, seed=5, value_size=256)
+    items = dict(base.initial_records())
+    trace = base.trace(config.r * 150)
+    measurement, _ = run_waffle(config, items, trace, cost)
+    rows.append({
+        "workload": "C (read only)",
+        "throughput_ops": measurement.throughput_ops,
+        "inserted": 0,
+        "dummies_left": config.d,
+    })
+
+    latest = workload_d(N, seed=5, value_size=200)
+    items_d = dict(latest.initial_records())
+    trace_d = latest.trace(config.r * 150)
+    measurement_d, datastore = run_waffle_with_inserts(
+        config, items_d, trace_d, cost)
+    rows.append({
+        "workload": "D (read latest + 5% inserts)",
+        "throughput_ops": measurement_d.throughput_ops,
+        "inserted": measurement_d.extra["inserted"],
+        "dummies_left": measurement_d.extra["dummies_left"],
+    })
+    return rows
+
+
+def test_workload_d(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(rows, title=f"Workload D vs C (N={N})")
+    publish("workload_d", text)
+
+    by = {row["workload"].split(" ")[0]: row for row in rows}
+    assert by["D"]["inserted"] > 0
+    # Inserts consume dummies one-for-one.
+    config = WaffleConfig.paper_defaults(n=N, seed=3)
+    assert by["D"]["dummies_left"] == config.d - by["D"]["inserted"]
+    # The mutation path costs something but stays the same order.
+    assert by["D"]["throughput_ops"] > 0.4 * by["C"]["throughput_ops"]

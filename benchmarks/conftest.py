@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure (DESIGN.md §3) at the
+scaled N, prints the paper-vs-measured comparison, and persists it under
+``benchmarks/results/`` so the numbers survive pytest's stdout capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered experiment and save it to benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Correlated queries: the attack Pancake falls to and Waffle resists.
+
+Rebuilds the §8.3.2 experiment end to end:
+
+1. generate a clickstream-style correlated workload (the synthetic
+   stand-in for IHOP's Wikipedia Clickstream trace);
+2. run it through Pancake (static storage ids) and Waffle (rotating
+   ids), recording the adversary's view of both;
+3. mount the known-query co-occurrence attack on each trace;
+4. compare Waffle's α histograms for correlated vs independent inputs
+   (Figure 5).
+
+Run:  python examples/correlated_queries.py
+"""
+
+from repro.bench.experiments import attack_correlated, fig5_correlated
+
+
+def main() -> None:
+    print("mounting the known-query co-occurrence attack "
+          "(IHOP-style, 50% known queries)...")
+    outcome = attack_correlated(n=40, requests=40_000, seed=5)
+    print(f"\n  chance baseline          : {outcome['chance']:.3f}")
+    print(f"  Pancake  (static ids)    : {outcome['pancake_accuracy']:.3f}"
+          f"  over {outcome['pancake_targets']} unknown ids"
+          f"  -> {outcome['pancake_accuracy'] / outcome['chance']:.1f}x chance")
+    print(f"  Waffle   (rotating ids)  : {outcome['waffle_accuracy']:.3f}"
+          f"  over {outcome['waffle_targets']} unknown ids"
+          f"  -> {outcome['waffle_accuracy'] / outcome['chance']:.1f}x chance")
+    print("\nPancake's replicas keep the same storage id forever, so "
+          "correlated keys co-occur observably; every Waffle id is read "
+          "at most once, so the co-occurrence signal never forms.")
+
+    print("\nFigure 5: Waffle's alpha histograms, correlated vs "
+          "independent inputs (N=500, B=100, f_D=20%, C=2%, D=200)...")
+    rows = fig5_correlated(n=500, requests=30_000)
+    for row in rows:
+        print(f"  R={row['r_pct']}% of B: {row['differing_fraction']:.2%} "
+              f"of requests differ in alpha "
+              f"(paper: ~0.8% at R=20%, ~3% at R=40%); "
+              f"throughput {row['throughput_ops']:,.0f} ops/s")
+    print("lower R -> more fake queries on real objects -> histograms "
+          "converge: the knob that buys obliviousness for correlated "
+          "workloads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Relational data over Waffle: the multi-map extension (§8.3.2).
+
+The paper motivates multi-maps as the stepping stone to relational
+data: a row with several attributes is a key with several values, and
+fetching a row issues *correlated* sub-queries — exactly the access
+pattern Waffle tolerates and Pancake does not.
+
+This example stores a small "employees" table (each row = 4 attribute
+values), runs point lookups and attribute updates through the oblivious
+store, and shows that the adversary-visible trace keeps its guarantees
+despite the perfectly correlated per-row sub-queries.
+
+Run:  python examples/relational_multimap.py
+"""
+
+from repro import MultiMapWaffle, WaffleConfig
+from repro.analysis.uniformity import measure_alpha, verify_storage_invariants
+
+
+ROWS = {
+    f"emp{i:04d}": (
+        b"name-%04d" % i,                       # name
+        b"dept-%d" % (i % 5),                   # department
+        b"%d" % (40_000 + 137 * i),             # salary
+        b"2021-0%d-01" % (1 + i % 9),           # hire date
+    )
+    for i in range(200)
+}
+COLUMNS = ("name", "department", "salary", "hire_date")
+
+
+def main() -> None:
+    slots = len(COLUMNS)
+    config = WaffleConfig(
+        n=len(ROWS) * slots, b=40, r=16, f_d=8, d=300,
+        c=round(0.05 * len(ROWS) * slots), value_size=64, seed=13,
+    )
+    table = MultiMapWaffle(config, ROWS, slots=slots)
+    datastore = table.datastore
+
+    # Point lookup: one row = `slots` correlated sub-queries, one round.
+    row = table.get("emp0042")
+    print("emp0042:", dict(zip(COLUMNS, row)))
+
+    # Attribute update: patch one column.
+    table.put_slot("emp0042", COLUMNS.index("salary"), b"99999")
+    print("after raise:", dict(zip(COLUMNS, table.get("emp0042"))))
+
+    # A scan-ish workload: read every row in one department.
+    dept_rows = [key for key, values in ROWS.items()
+                 if values[1] == b"dept-3"]
+    salaries = []
+    for key in dept_rows:
+        salaries.append(int(table.get(key)[COLUMNS.index("salary")]))
+    print(f"dept-3: {len(dept_rows)} rows, "
+          f"mean salary {sum(salaries) / len(salaries):,.0f}")
+
+    # The guarantees hold despite fully correlated sub-queries.
+    records = datastore.recorder.records
+    verify_storage_invariants(records)
+    report = measure_alpha(records)
+    print(f"\nadversary saw {len(records)} accesses over "
+          f"{datastore.proxy.totals.rounds} rounds; "
+          f"max alpha {report.max_alpha} "
+          f"(bound {config.alpha_bound_effective()}); "
+          "every storage id read at most once.")
+
+
+if __name__ == "__main__":
+    main()

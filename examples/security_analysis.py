@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Security analysis: measure α/β uniformity the way §8.3.1 does.
+
+Runs the medium-security preset under a skewed and a uniform input
+distribution, verifies the Theorem 7.1/7.2 bounds on every server
+access, and renders the adversary-observable α histograms whose
+similarity across input distributions is the obliviousness argument
+(Figure 4).
+
+Run:  python examples/security_analysis.py
+"""
+
+from repro.analysis.histograms import (
+    alpha_histogram,
+    histogram_difference,
+    render_histogram,
+)
+from repro.analysis.uniformity import full_report, verify_storage_invariants
+from repro.bench.harness import run_waffle
+from repro.core.config import SecurityLevel, WaffleConfig
+from repro.sim.costmodel import CostModel
+from repro.workloads.ycsb import YcsbWorkload
+
+
+def analyse(uniform: bool, n: int = 2**13, rounds: int = 400):
+    config = WaffleConfig.security_preset(SecurityLevel.MEDIUM, n=n, seed=3)
+    workload = YcsbWorkload(n, read_proportion=1.0, uniform=uniform,
+                            theta=0.99, value_size=256, seed=4)
+    items = dict(workload.initial_records())
+    trace = workload.trace(config.r * rounds)
+    _, datastore = run_waffle(config, items, trace, CostModel(),
+                              record=True, log_ids=True)
+    records = datastore.recorder.records
+    verify_storage_invariants(records)
+    report = full_report(records, datastore.proxy.id_log)
+    return config, report
+
+
+def main() -> None:
+    histograms = {}
+    for uniform in (False, True):
+        name = "uniform" if uniform else "skewed (Zipf 0.99)"
+        config, report = analyse(uniform)
+        histograms[uniform] = alpha_histogram(report.alphas)
+        print(f"\n=== input distribution: {name} ===")
+        print(f"theoretical alpha (Thm 7.1) : {config.alpha_bound()}")
+        print(f"implementation alpha bound  : {config.alpha_bound_effective()}"
+              "  (the dummy reshuffle doubles the dummy term; see DESIGN.md)")
+        print(f"observed max alpha          : {report.max_alpha}")
+        print(f"theoretical beta (Thm 7.2)  : {config.beta_bound()}")
+        print(f"observed min beta           : {report.min_beta}")
+        ok = report.satisfies(config.alpha_bound_effective(),
+                              config.beta_bound())
+        print(f"alpha,beta-uniform          : {ok}")
+        print("alpha histogram (top buckets):")
+        print(render_histogram(histograms[uniform], max_rows=8))
+
+    comparison = histogram_difference(histograms[False], histograms[True])
+    print("\n=== obliviousness (Figure 4 argument) ===")
+    print(f"requests whose alpha differs across the two input "
+          f"distributions: {comparison.differing_fraction:.2%} "
+          "(paper: ~1% for medium security)")
+    print("similar histograms for extreme input distributions mean the "
+          "adversary cannot tell them apart.")
+
+
+if __name__ == "__main__":
+    main()

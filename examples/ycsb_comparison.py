@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""YCSB shoot-out: Waffle vs the insecure baseline, Pancake and TaoStore.
+
+A reduced-scale rerun of the paper's Figure 2a/2b: same workloads
+(YCSB A and C at Zipf 0.99), same batch shapes, simulated-time
+throughput/latency.  Expect the paper's ordering — insecure ≈ 6x Waffle,
+Waffle ≈ 1.5x Pancake, Waffle ≈ 100x TaoStore.
+
+Run:  python examples/ycsb_comparison.py            (~1 min)
+      python examples/ycsb_comparison.py --quick    (~15 s)
+"""
+
+import sys
+
+from repro.bench.experiments import fig2ab_baselines
+from repro.bench.reporting import format_table
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    n = 2**12 if quick else 2**14
+    rounds = 40 if quick else 120
+    print(f"running YCSB A and C against all four systems (N={n})...")
+    rows = fig2ab_baselines(n=n, rounds=rounds)
+    print()
+    print(format_table(rows, title="Figure 2a/2b (scaled rerun)"))
+
+    by = {(row["workload"], row["system"]): row for row in rows}
+    for workload in ("YCSB-A", "YCSB-C"):
+        waffle = by[(workload, "waffle")]["throughput_ops"]
+        insecure = by[(workload, "insecure")]["throughput_ops"]
+        pancake = by[(workload, "pancake")]["throughput_ops"]
+        taostore = by[(workload, "taostore")]["throughput_ops"]
+        print(f"\n{workload}:")
+        print(f"  cost of privacy  (insecure/waffle): {insecure / waffle:5.2f}x"
+              "   paper: 5.8-6.04x")
+        print(f"  vs Pancake        (waffle/pancake): {waffle / pancake:5.2f}x"
+              "   paper: 1.455-1.577x")
+        print(f"  vs TaoStore      (waffle/taostore): {waffle / taostore:5.0f}x"
+              "   paper: 102x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""ASCII figure rendering: the paper's plots, in a terminal.
+
+The reporting module renders tables and single bar series; this module
+renders the two plot shapes the paper's figures use — multi-series line
+charts (Figures 2c/3a-3d) and scatter plots (Figure 6) — as fixed-width
+ASCII, so the CLI and the examples can show a *figure*, not just rows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart", "scatter_plot"]
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, round(position * (cells - 1))))
+
+
+def line_chart(series: dict[str, list[tuple[float, float]]],
+               width: int = 60, height: int = 16,
+               title: str | None = None,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """Render one or more (x, y) series on a shared canvas.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ``x``...); points are
+    plotted on a ``width`` x ``height`` grid with min/max axis labels.
+    """
+    if not series or not any(series.values()):
+        raise ConfigurationError("need at least one non-empty series")
+    markers = "*o+x#@%&"
+    points = [p for pts in series.values() for p in pts]
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:,.4g}"
+    y_lo_label = f"{y_lo:,.4g}"
+    gutter = max(len(y_hi_label), len(y_lo_label))
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = y_hi_label
+        elif row_index == height - 1:
+            label = y_lo_label
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{x_lo:,.4g}" + " " * max(
+        1, width - len(f"{x_lo:,.4g}") - len(f"{x_hi:,.4g}")
+    ) + f"{x_hi:,.4g}"
+    lines.append(" " * gutter + "  " + x_axis)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"[{y_label} vs {x_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def scatter_plot(points: list[tuple[float, float]], width: int = 60,
+                 height: int = 16, title: str | None = None,
+                 x_label: str = "x", y_label: str = "y") -> str:
+    """Render one scatter series (Figure 6's security-vs-throughput)."""
+    return line_chart({y_label: points}, width=width, height=height,
+                      title=title, x_label=x_label, y_label=y_label)

@@ -1,0 +1,22 @@
+"""Pancake (Grubbs et al., USENIX Security 2020) — full reimplementation.
+
+Pancake achieves *frequency smoothing* under a passive persistent
+adversary given (near-accurate) prior knowledge of the plaintext access
+distribution π:
+
+* each key ``k`` gets ``R(k) = ceil(π(k)·n)`` replicas, padded with
+  dummy replicas to ``n̂ = 2n`` outsourced objects;
+* every batch slot flips a δ=1/2 coin: real query (next queued client
+  request, replica chosen uniformly) or fake query drawn from the
+  complementary distribution ``π_f(k,j) = 2/n̂ − π(k)/R(k)``, making every
+  replica's access probability exactly ``1/n̂``;
+* storage ids are **static** (``prf(k‖j)``), which is what the correlated
+  query attack of IHOP exploits and what Waffle's non-static ids fix;
+* writes propagate lazily through an ``updateCache`` that can grow to
+  Θ(N) — one of the limitations motivating Waffle.
+"""
+
+from repro.baselines.pancake.smoothing import SmoothedDistribution
+from repro.baselines.pancake.proxy import PancakeProxy
+
+__all__ = ["PancakeProxy", "SmoothedDistribution"]

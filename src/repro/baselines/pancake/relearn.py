@@ -1,0 +1,109 @@
+"""Pancake's distribution-change handling: detect, re-learn, re-smooth.
+
+The paper's first criticism of Pancake (§1, §2): it achieves *offline*
+obliviousness — "although Pancake presents a mechanism to handle
+changing distributions, the new distribution must be learnt before
+ensuring frequency smoothing".  This module implements that mechanism so
+the limitation can be measured rather than asserted:
+
+* :class:`DistributionEstimator` — an online frequency estimator over
+  the real client queries (what Pancake's proxy can legitimately see);
+* :class:`DriftDetector` — a chi-square test of recent traffic against
+  the assumed π; a significant deviation flags drift;
+* :func:`resmooth` — rebuilds the replica layout and fake distribution
+  from the re-learnt π.  Re-smoothing re-creates replicas server-side —
+  an expensive, observable migration, which is exactly why the window
+  between drift and re-smoothing is insecure (the experiment in
+  tests/test_pancake_relearn.py shows per-replica uniformity breaking
+  during that window and recovering after).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+import numpy as np
+
+from repro.baselines.pancake.proxy import PancakeProxy
+from repro.baselines.pancake.smoothing import SmoothedDistribution
+from repro.errors import ConfigurationError
+from repro.storage.base import StorageBackend
+
+__all__ = ["DistributionEstimator", "DriftDetector", "resmooth"]
+
+
+class DistributionEstimator:
+    """Exponentially-weighted online estimate of the query distribution."""
+
+    def __init__(self, keys: list[str], half_life: int = 2000) -> None:
+        if half_life < 1:
+            raise ConfigurationError("half life must be positive")
+        self.keys = list(keys)
+        self._index = {key: i for i, key in enumerate(self.keys)}
+        self._weights = np.ones(len(self.keys))  # Laplace prior
+        self._decay = 0.5 ** (1.0 / half_life)
+
+    def observe(self, key: str) -> None:
+        self._weights *= self._decay
+        self._weights[self._index[key]] += 1.0
+
+    def estimate(self) -> np.ndarray:
+        return self._weights / self._weights.sum()
+
+
+class DriftDetector:
+    """Chi-square drift test of recent queries against the assumed π."""
+
+    def __init__(self, assumed_pi, window: int = 2000,
+                 significance: float = 1e-4) -> None:
+        self.assumed = np.asarray(assumed_pi, dtype=float)
+        self.window = window
+        self.significance = significance
+        self._recent: deque[int] = deque(maxlen=window)
+
+    def observe(self, key_index: int) -> bool:
+        """Feed one query; returns True when drift is detected."""
+        self._recent.append(key_index)
+        if len(self._recent) < self.window:
+            return False
+        return self.check()
+
+    def check(self) -> bool:
+        from scipy import stats
+
+        counts = Counter(self._recent)
+        observed = np.array([counts.get(i, 0)
+                             for i in range(len(self.assumed))], float)
+        expected = self.assumed * observed.sum()
+        # Pool tiny-expectation cells to keep the test valid.
+        keep = expected >= 1.0
+        pooled_obs = np.append(observed[keep], observed[~keep].sum())
+        pooled_exp = np.append(expected[keep], expected[~keep].sum())
+        if pooled_exp[-1] == 0:
+            pooled_obs, pooled_exp = pooled_obs[:-1], pooled_exp[:-1]
+        _, p_value = stats.chisquare(pooled_obs, pooled_exp)
+        return bool(p_value < self.significance)
+
+
+def resmooth(proxy: PancakeProxy, new_pi, store: StorageBackend | None = None,
+             seed: int | None = None) -> PancakeProxy:
+    """Rebuild a Pancake deployment for a re-learnt distribution.
+
+    Reads every key's current value through the old proxy's view (the
+    update cache holds the freshest values), then constructs a new proxy
+    with the new smoothing over a fresh store — the server-visible
+    migration Pancake must perform to regain uniformity.
+    """
+    values = {}
+    for key_index, key in enumerate(proxy.keys):
+        if key in proxy.update_cache:
+            values[key] = proxy.update_cache[key][0]
+        else:
+            sid = proxy._replica_id(key_index, 0)
+            values[key] = proxy.keychain.cipher.decrypt(proxy.store.get(sid))
+    from repro.storage.redis_sim import RedisSim
+
+    target = store if store is not None else RedisSim()
+    return PancakeProxy(proxy.keys, values, new_pi, target,
+                        batch_size=proxy.batch_size, delta=proxy.delta,
+                        keychain=proxy.keychain, seed=seed)

@@ -1,0 +1,202 @@
+"""PathORAM (Stefanov et al., CCS 2013) — from-scratch implementation.
+
+Background for Waffle's §2: PathORAM stores encrypted blocks in a binary
+tree of buckets on the server.  A position map assigns every key to a
+uniformly random leaf; an access reads the *entire path* from root to that
+leaf into a client-side stash, remaps the key to a fresh random leaf
+(non-static storage identifiers — the property Waffle adopts), and writes
+the path back greedily, pushing stash blocks as deep as their leaf
+assignment allows.  Every access therefore moves Z·(L+1) blocks in each
+direction — the Θ(log N) bandwidth overhead the paper contrasts with
+Waffle's constant overhead.
+
+Buckets are stored as one encrypted blob per tree node so the adversary
+observes only which nodes are touched (always one full path).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.storage.base import StorageBackend
+from repro.workloads.trace import Operation, TraceRequest
+
+__all__ = ["PathOram", "PathOramStats"]
+
+
+@dataclass(slots=True)
+class PathOramStats:
+    accesses: int = 0
+    buckets_read: int = 0
+    buckets_written: int = 0
+    max_stash: int = 0
+
+
+class PathOram:
+    """Tree ORAM with client-side stash and position map.
+
+    Parameters
+    ----------
+    items:
+        Initial key-value mapping (defines N).
+    store:
+        Untrusted server (plain overwrite mode — buckets are rewritten in
+        place; freshness comes from re-encryption).
+    bucket_size:
+        Z, blocks per bucket (the standard choice is 4).
+    """
+
+    def __init__(self, items: dict[str, bytes], store: StorageBackend,
+                 bucket_size: int = 4, keychain: KeyChain | None = None,
+                 seed: int | None = None) -> None:
+        if not items:
+            raise ConfigurationError("PathORAM needs a non-empty dataset")
+        if bucket_size < 1:
+            raise ConfigurationError("bucket size Z must be positive")
+        self.n = len(items)
+        self.z = bucket_size
+        self.levels = max(1, math.ceil(math.log2(max(2, self.n)))) + 1
+        self.leaves = 2 ** (self.levels - 1)
+        self.store = store
+        self.keychain = keychain if keychain is not None else KeyChain()
+        self._rng = random.Random(seed)
+        self.stats = PathOramStats()
+        self.position: dict[str, int] = {}
+        self.stash: dict[str, bytes] = {}
+
+        # Server tree: node ids 1..2^levels-1 (heap order), all buckets
+        # initially empty; blocks enter via evictions below.
+        empty = self._encode_bucket([])
+        self.store.multi_put(
+            (self._node_id(node), empty)
+            for node in range(1, 2 ** self.levels)
+        )
+        for key, value in items.items():
+            self.position[key] = self._rng.randrange(self.leaves)
+            self.stash[key] = value
+            # Flush the stash through a dummy access so initialization does
+            # not leave Θ(N) blocks client-side.
+            self._evict_along(self.position[key])
+        self.stats = PathOramStats()  # initialization doesn't count
+
+    # ------------------------------------------------------------------
+    # tree helpers
+    # ------------------------------------------------------------------
+    def _node_id(self, node: int) -> str:
+        return f"oram:node:{node:08d}"
+
+    def _path_nodes(self, leaf: int) -> list[int]:
+        """Heap-order node indices from root to ``leaf``."""
+        node = self.leaves + leaf  # leaf nodes occupy [2^(L), 2^(L+1))
+        path = []
+        while node >= 1:
+            path.append(node)
+            node //= 2
+        path.reverse()
+        return path
+
+    def _encode_bucket(self, blocks: list[tuple[str, int, bytes]]) -> bytes:
+        parts = []
+        for key, leaf, value in blocks:
+            kb = key.encode("utf-8")
+            parts.append(len(kb).to_bytes(2, "big") + kb
+                         + leaf.to_bytes(4, "big")
+                         + len(value).to_bytes(4, "big") + value)
+        return self.keychain.cipher.encrypt(b"".join(parts))
+
+    def _decode_bucket(self, blob: bytes) -> list[tuple[str, int, bytes]]:
+        raw = self.keychain.cipher.decrypt(blob)
+        blocks = []
+        cursor = 0
+        while cursor < len(raw):
+            klen = int.from_bytes(raw[cursor:cursor + 2], "big")
+            cursor += 2
+            key = raw[cursor:cursor + klen].decode("utf-8")
+            cursor += klen
+            leaf = int.from_bytes(raw[cursor:cursor + 4], "big")
+            cursor += 4
+            vlen = int.from_bytes(raw[cursor:cursor + 4], "big")
+            cursor += 4
+            value = raw[cursor:cursor + vlen]
+            cursor += vlen
+            blocks.append((key, leaf, value))
+        return blocks
+
+    # ------------------------------------------------------------------
+    # the ORAM access
+    # ------------------------------------------------------------------
+    def access(self, op: Operation, key: str, value: bytes | None = None) -> bytes:
+        """One PathORAM access: read path, remap, serve, evict, write path."""
+        if key not in self.position:
+            raise KeyNotFoundError(key)
+        leaf = self.position[key]
+        self._read_path_into_stash(leaf)
+        self.position[key] = self._rng.randrange(self.leaves)
+
+        if key not in self.stash:  # pragma: no cover - defensive
+            raise KeyNotFoundError(key)
+        if op is Operation.WRITE:
+            if value is None:
+                raise ConfigurationError("write access requires a value")
+            self.stash[key] = value
+        result = self.stash[key]
+
+        self._write_path_from_stash(leaf)
+        self.stats.accesses += 1
+        self.stats.max_stash = max(self.stats.max_stash, len(self.stash))
+        return result
+
+    def _read_path_into_stash(self, leaf: int) -> None:
+        nodes = self._path_nodes(leaf)
+        blobs = self.store.multi_get([self._node_id(node) for node in nodes])
+        self.stats.buckets_read += len(nodes)
+        for blob in blobs:
+            for key, key_leaf, value in self._decode_bucket(blob):
+                self.stash[key] = value
+
+    def _write_path_from_stash(self, leaf: int) -> None:
+        nodes = self._path_nodes(leaf)
+        writes = []
+        # Greedy eviction: deepest node first; a stash block may settle in
+        # a node iff that node lies on the block's assigned-leaf path too.
+        for node in reversed(nodes):
+            depth = node.bit_length() - 1
+            placed: list[tuple[str, int, bytes]] = []
+            for key in list(self.stash):
+                if len(placed) >= self.z:
+                    break
+                block_leaf = self.position[key]
+                block_node_at_depth = (self.leaves + block_leaf) >> (
+                    self.levels - 1 - depth
+                )
+                if block_node_at_depth == node:
+                    placed.append((key, block_leaf, self.stash.pop(key)))
+            writes.append((self._node_id(node), self._encode_bucket(placed)))
+        self.store.multi_put(writes)
+        self.stats.buckets_written += len(writes)
+
+    def _evict_along(self, leaf: int) -> None:
+        """Initialization helper: read+write one path to drain the stash."""
+        self._read_path_into_stash(leaf)
+        self._write_path_from_stash(leaf)
+
+    # ------------------------------------------------------------------
+    # convenience API
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bytes:
+        return self.access(Operation.READ, key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self.access(Operation.WRITE, key, value)
+
+    def execute(self, request: TraceRequest) -> bytes:
+        return self.access(request.op, request.key, request.value)
+
+    @property
+    def path_length(self) -> int:
+        """Buckets touched per direction per access: L+1."""
+        return self.levels

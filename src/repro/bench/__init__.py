@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment drivers for every table and figure.
+
+* :mod:`repro.bench.harness` — runs each system's real protocol over a
+  workload trace and converts its operation counts into simulated-time
+  throughput/latency via the cost model;
+* :mod:`repro.bench.experiments` — one entry point per paper table/figure
+  (the per-experiment index lives in DESIGN.md §3);
+* :mod:`repro.bench.reporting` — paper-style table/series rendering.
+"""
+
+from repro.bench.harness import (
+    Measurement,
+    run_insecure,
+    run_pancake,
+    run_taostore,
+    run_waffle,
+    run_waffle_with_inserts,
+)
+
+__all__ = [
+    "Measurement",
+    "run_insecure",
+    "run_pancake",
+    "run_taostore",
+    "run_waffle",
+    "run_waffle_with_inserts",
+]

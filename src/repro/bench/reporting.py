@@ -1,0 +1,61 @@
+"""Paper-style rendering of experiment rows."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["format_table", "format_series"]
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns if columns is not None else list(rows[0].keys())
+    cells = [[_format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.rjust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(rows: list[dict], x: str, y: str,
+                  title: str | None = None, width: int = 50) -> str:
+    """Render one (x, y) series as an ASCII bar chart."""
+    if not rows:
+        return "(no data)"
+    peak = max(abs(float(row[y])) for row in rows) or 1.0
+    lines = [title] if title else []
+    for row in rows:
+        value = float(row[y])
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"  {x}={_format_cell(row[x]):>8} | {bar} "
+                     f"{_format_cell(value)}")
+    return "\n".join(lines)
+
+
+def print_rows(rows: Iterable[dict], **kwargs) -> None:  # pragma: no cover
+    print(format_table(list(rows), **kwargs))

@@ -1,0 +1,202 @@
+"""Command-line interface: regenerate any experiment from a shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig2ab --n 4096 --rounds 40
+    python -m repro.cli run table2
+    python -m repro.cli bounds --n 1048576 --level high
+
+``run`` executes one experiment from :mod:`repro.bench.experiments` and
+prints the paper-style table; ``bounds`` evaluates the Theorem 7.1/7.2
+bounds for a preset without running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table
+from repro.core.config import SecurityLevel, WaffleConfig
+
+__all__ = ["EXPERIMENTS", "main"]
+
+#: CLI name -> (callable, kwargs it accepts from the CLI).
+EXPERIMENTS = {
+    "fig2ab": (experiments.fig2ab_baselines, ("n", "rounds")),
+    "fig2c": (experiments.fig2c_cores, ("n", "rounds")),
+    "fig2d": (experiments.fig2d_cache, ("n", "rounds")),
+    "fig3a": (experiments.fig3a_batch_size, ("n", "rounds")),
+    "fig3b": (experiments.fig3b_real_fraction, ("n", "rounds")),
+    "fig3c": (experiments.fig3c_fake_dummy, ("n", "rounds")),
+    "fig3d": (experiments.fig3d_num_dummies, ("n", "rounds")),
+    "table2": (experiments.table2_security_levels, ("n", "rounds")),
+    "fig5": (experiments.fig5_correlated, ("n",)),
+    "fig6": (experiments.fig6_tradeoff, ("n", "rounds")),
+    "attack": (experiments.attack_correlated, ("n",)),
+    "ablation-fake-policy": (experiments.ablation_fake_policy,
+                             ("n", "rounds")),
+    "attack-frequency": (experiments.frequency_attack_comparison, ("n",)),
+    "low-security-leak": (experiments.low_security_distinguisher,
+                          ("n", "rounds")),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Waffle reproduction experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--n", type=int, default=None,
+                     help="scaled database size (default: experiment's)")
+    run.add_argument("--rounds", type=int, default=None,
+                     help="batch rounds per data point")
+    run.add_argument("--json", action="store_true",
+                     help="emit raw rows as JSON instead of a table")
+    run.add_argument("--chart", action="store_true",
+                     help="additionally render an ASCII chart when the "
+                          "experiment produces an (x, y) series")
+
+    bounds = sub.add_parser("bounds", help="evaluate Theorem 7.1/7.2 bounds")
+    bounds.add_argument("--n", type=int, default=10**6)
+    bounds.add_argument("--level", choices=[l.value for l in SecurityLevel],
+                        default=None,
+                        help="Table 2 preset (default: §8.2 defaults)")
+
+    audit = sub.add_parser(
+        "audit", help="run a workload and emit a security audit report")
+    audit.add_argument("--n", type=int, default=2048)
+    audit.add_argument("--rounds", type=int, default=200)
+    audit.add_argument("--uniform", action="store_true",
+                       help="uniform instead of Zipf-0.99 input")
+    return parser
+
+
+def _run_experiment(args) -> int:
+    func, accepted = EXPERIMENTS[args.experiment]
+    kwargs = {}
+    if args.n is not None and "n" in accepted:
+        kwargs["n"] = args.n
+    if args.rounds is not None and "rounds" in accepted:
+        kwargs["rounds"] = args.rounds
+    result = func(**kwargs)
+    if isinstance(result, dict):
+        print(json.dumps(_jsonable(result), indent=2))
+        return 0
+    if args.json:
+        print(json.dumps(_jsonable(result), indent=2))
+    else:
+        rows = [{k: v for k, v in row.items() if not isinstance(v, dict)}
+                for row in result]
+        print(format_table(rows, title=args.experiment))
+        if getattr(args, "chart", False):
+            chart = _maybe_chart(args.experiment, rows)
+            if chart:
+                print()
+                print(chart)
+    return 0
+
+
+#: experiment -> (x column, y column) for the --chart rendering.
+_CHART_AXES = {
+    "fig2c": ("cores", "throughput_ops"),
+    "fig2d": ("cache_pct", "throughput_ops"),
+    "fig3a": ("batch_size", "throughput_ops"),
+    "fig3b": ("real_pct", "throughput_ops"),
+    "fig3c": ("fake_dummy_pct", "throughput_ops"),
+    "fig3d": ("dummies_pct_of_n", "throughput_ops"),
+    "fig6": ("alpha_theory", "throughput_ops"),
+}
+
+
+def _maybe_chart(experiment: str, rows: list[dict]) -> str | None:
+    from repro.analysis.visualize import line_chart
+
+    axes = _CHART_AXES.get(experiment)
+    if not axes or not rows:
+        return None
+    x, y = axes
+    if x not in rows[0] or y not in rows[0]:
+        return None
+    points = [(float(row[x]), float(row[y])) for row in rows]
+    return line_chart({y: points}, title=experiment, x_label=x, y_label=y)
+
+
+def _jsonable(value):
+    from collections import Counter
+
+    if isinstance(value, Counter):
+        return {str(k): v for k, v in value.items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in vars(value).items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _show_bounds(args) -> int:
+    if args.level is None:
+        config = WaffleConfig.paper_defaults(n=args.n)
+        name = "paper defaults (§8.2)"
+    else:
+        config = WaffleConfig.security_preset(SecurityLevel(args.level),
+                                              n=args.n)
+        name = f"Table 2 '{args.level}' preset"
+    print(f"{name} at N={args.n}:")
+    print(f"  B={config.b} R={config.r} f_D={config.f_d} "
+          f"C={config.c} D={config.d}")
+    print(f"  alpha (Theorem 7.1)        : {config.alpha_bound()}")
+    print(f"  alpha (implementation)     : {config.alpha_bound_effective()}")
+    print(f"  beta  (Theorem 7.2)        : {config.beta_bound()}")
+    print(f"  security score beta/alpha  : {config.security_score():.4f}")
+    print(f"  bandwidth overhead         : {config.bandwidth_overhead():.2f}x")
+    return 0
+
+
+def _run_audit(args) -> int:
+    from repro.analysis.report import security_audit
+    from repro.bench.harness import run_waffle
+    from repro.sim.costmodel import CostModel
+    from repro.workloads.ycsb import YcsbWorkload
+
+    config = WaffleConfig.paper_defaults(n=args.n, seed=1)
+    workload = YcsbWorkload(args.n, read_proportion=0.5,
+                            uniform=args.uniform, theta=0.99,
+                            value_size=256, seed=2)
+    items = dict(workload.initial_records())
+    trace = workload.trace(config.r * args.rounds)
+    _, datastore = run_waffle(config, items, trace, CostModel(),
+                              record=True, log_ids=True)
+    result = security_audit(datastore)
+    print(result.markdown)
+    return 0 if result.passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            func, _ = EXPERIMENTS[name]
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        return 0
+    if args.command == "run":
+        return _run_experiment(args)
+    if args.command == "audit":
+        return _run_audit(args)
+    return _show_bounds(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Client-side façade: buffered get/put over the Waffle batch protocol.
+
+Waffle's proxy waits for ``R`` client requests before dispatching a batch
+(§4, Challenge 1).  :class:`WaffleClient` reproduces that behaviour for
+callers that think in terms of individual operations: ``get``/``put``
+return :class:`PendingResult` handles that resolve when the batch they
+joined is executed; :meth:`flush` forces a partial batch (e.g. at the end
+of a trace); ``get_now``/``put_now`` are conveniences that flush
+immediately for interactive use.
+"""
+
+from __future__ import annotations
+
+from repro.core.batch import ClientRequest
+from repro.core.datastore import WaffleDatastore
+from repro.errors import ProtocolError
+from repro.workloads.trace import Operation
+
+__all__ = ["PendingResult", "WaffleClient"]
+
+
+class PendingResult:
+    """A response placeholder that resolves once its batch executes."""
+
+    __slots__ = ("_value", "_done")
+
+    def __init__(self) -> None:
+        self._value: bytes | None = None
+        self._done = False
+
+    def _resolve(self, value: bytes) -> None:
+        self._value = value
+        self._done = True
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> bytes:
+        if not self._done:
+            raise ProtocolError(
+                "result not ready: the batch has not been flushed yet"
+            )
+        return self._value  # type: ignore[return-value]
+
+
+class WaffleClient:
+    """Buffers requests into R-sized batches against one datastore."""
+
+    def __init__(self, datastore: WaffleDatastore) -> None:
+        self.datastore = datastore
+        self._buffer: list[ClientRequest] = []
+        self._pending: dict[int, PendingResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # buffered interface
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> PendingResult:
+        """Queue a read; auto-dispatches when R requests have accumulated."""
+        return self._submit(ClientRequest(op=Operation.READ, key=key))
+
+    def put(self, key: str, value: bytes) -> PendingResult:
+        """Queue a write; auto-dispatches when R requests have accumulated."""
+        return self._submit(ClientRequest(op=Operation.WRITE, key=key, value=value))
+
+    def _submit(self, request: ClientRequest) -> PendingResult:
+        result = PendingResult()
+        self._buffer.append(request)
+        self._pending[request.request_id] = result
+        if len(self._buffer) >= self.datastore.config.r:
+            self.flush()
+        return result
+
+    def flush(self) -> int:
+        """Dispatch the buffered requests (possibly fewer than R).
+
+        Returns the number of requests executed.
+        """
+        if not self._buffer:
+            return 0
+        batch, self._buffer = self._buffer, []
+        responses = self.datastore.execute_batch(batch)
+        for response in responses:
+            self._pending.pop(response.request_id)._resolve(response.value)
+        return len(responses)
+
+    # ------------------------------------------------------------------
+    # immediate interface
+    # ------------------------------------------------------------------
+    def get_now(self, key: str) -> bytes:
+        """Read ``key`` immediately (flushes the current batch)."""
+        result = self.get(key)
+        if not result.done:
+            self.flush()
+        return result.value
+
+    def put_now(self, key: str, value: bytes) -> None:
+        """Write ``key`` immediately (flushes the current batch)."""
+        result = self.put(key, value)
+        if not result.done:
+            self.flush()

@@ -1,0 +1,145 @@
+"""Public facade: a Waffle datastore over an untrusted key-value server.
+
+:class:`WaffleDatastore` wires together the proxy, the (Redis-like) server
+and the adversary recorder, handles value padding (all outsourced values
+are equal length, §3.1), and exposes the batch entry point plus
+insert/delete.  Most applications use it through
+:class:`~repro.core.client.WaffleClient`, which buffers individual
+get/put calls into R-request batches.
+"""
+
+from __future__ import annotations
+
+from repro.core.batch import ClientRequest, ClientResponse
+from repro.core.config import WaffleConfig
+from repro.core.proxy import WaffleProxy
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.storage.base import StorageBackend
+from repro.storage.recording import RecordingStore
+from repro.storage.redis_sim import RedisSim
+
+__all__ = ["WaffleDatastore", "pad_value", "unpad_value"]
+
+_LENGTH_HEADER = 4
+
+
+def pad_value(value: bytes, padded_size: int) -> bytes:
+    """Length-prefix and zero-pad ``value`` to exactly ``padded_size``."""
+    if len(value) > padded_size - _LENGTH_HEADER:
+        raise ConfigurationError(
+            f"value of {len(value)} bytes exceeds padded size "
+            f"{padded_size} - {_LENGTH_HEADER} header bytes"
+        )
+    header = len(value).to_bytes(_LENGTH_HEADER, "big")
+    return header + value + b"\x00" * (padded_size - _LENGTH_HEADER - len(value))
+
+
+def unpad_value(padded: bytes) -> bytes:
+    """Inverse of :func:`pad_value`."""
+    length = int.from_bytes(padded[:_LENGTH_HEADER], "big")
+    return padded[_LENGTH_HEADER: _LENGTH_HEADER + length]
+
+
+class WaffleDatastore:
+    """A complete Waffle deployment (server + proxy + recorder).
+
+    Parameters
+    ----------
+    config:
+        System parameters.  ``config.value_size`` is the *padded* object
+        size; client values may be up to 4 bytes smaller.
+    items:
+        The initial N key-value pairs.
+    store:
+        Optional pre-built server backend; defaults to a write-once
+        :class:`~repro.storage.redis_sim.RedisSim`.
+    record:
+        Capture the adversary-visible access trace (the default — the
+        security analysis needs it; disable for long perf-only runs).
+    keychain:
+        Proxy secrets; defaults to a fresh random keychain (pass
+        ``KeyChain.from_seed`` for reproducibility).
+    """
+
+    def __init__(self, config: WaffleConfig, items: dict[str, bytes],
+                 store: StorageBackend | None = None, record: bool = True,
+                 keychain: KeyChain | None = None, log_ids: bool = False) -> None:
+        self.config = config
+        backing = store if store is not None else RedisSim(write_once=True)
+        self.recorder: RecordingStore | None = None
+        if record:
+            self.recorder = RecordingStore(backing)
+            backing = self.recorder
+        self.proxy = WaffleProxy(config, store=backing, keychain=keychain,
+                                 log_ids=log_ids)
+        padded = {
+            key: pad_value(value, config.value_size) for key, value in items.items()
+        }
+        self.proxy.initialize(padded)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def execute_batch(self, requests: list[ClientRequest]) -> list[ClientResponse]:
+        """Run one batch round (up to R requests) and return responses.
+
+        Write-request values are padded on the way in; all response values
+        are unpadded on the way out.
+        """
+        cfg = self.config
+        prepared = [
+            ClientRequest(op=req.op, key=req.key,
+                          value=pad_value(req.value, cfg.value_size),
+                          request_id=req.request_id)
+            if req.value is not None else req
+            for req in requests
+        ]
+        responses = self.proxy.handle_batch(prepared)
+        return [
+            ClientResponse(request_id=resp.request_id, key=resp.key,
+                           value=unpad_value(resp.value))
+            for resp in responses
+        ]
+
+    # ------------------------------------------------------------------
+    # inserts and deletes (§6.2)
+    # ------------------------------------------------------------------
+    def insert(self, key: str, value: bytes) -> None:
+        """Queue a brand-new key; it takes effect within upcoming rounds."""
+        if self.proxy.contains_key(key):
+            raise ConfigurationError(f"key already exists: {key!r}")
+        if self.proxy.dummy_count - self.proxy.mutations.pending_inserts <= 0:
+            raise ConfigurationError(
+                "no dummy objects left to swap for the insert; "
+                "provision a larger D"
+            )
+        self.proxy.mutations.enqueue_insert(
+            key, pad_value(value, self.config.value_size)
+        )
+
+    def delete(self, key: str) -> None:
+        """Queue removal of ``key``; its slot becomes a dummy object."""
+        if not self.proxy.contains_key(key):
+            raise KeyNotFoundError(key)
+        self.proxy.mutations.enqueue_delete(key)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def server_size(self) -> int:
+        """Objects currently outsourced (bounded by N + D)."""
+        return len(self.proxy.store)
+
+    def current_bounds(self) -> tuple[int, int]:
+        """(α, β) bounds under the *current* N and D (mutations move them)."""
+        from dataclasses import replace
+
+        cfg = replace(
+            self.config,
+            n=self.proxy.real_count,
+            d=self.proxy.dummy_count,
+            c=min(self.config.c, self.proxy.real_count),
+        )
+        return cfg.alpha_bound(), cfg.beta_bound()

@@ -1,0 +1,136 @@
+"""Concurrent client front-end: many client threads, one batching proxy.
+
+The paper's proxy exists "to support multiple clients requesting data
+concurrently" (§3.1).  :class:`ConcurrentFrontend` provides that shape
+for real threads: clients call :meth:`get`/:meth:`put` from any thread
+and block until their batch completes.  A dispatcher forms batches of up
+to R requests — dispatching as soon as R are waiting, or when
+``max_delay_s`` passes with a partial batch — and runs Algorithm 1 under
+a lock (the proxy itself is single-threaded per round, like the paper's
+per-batch critical section; Figure 2c's multi-core scaling happens
+*inside* a round and is modelled by the cost model).
+
+Consistency: requests the proxy serves within one batch are ordered by
+their position in the batch (Algorithm 1 processes them in sequence), so
+per-thread program order is preserved and every value read was written
+by some client — the linearizability tests hammer this with many
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.batch import ClientRequest
+from repro.core.datastore import WaffleDatastore
+from repro.errors import ClosedError, ConfigurationError
+from repro.workloads.trace import Operation
+
+__all__ = ["ConcurrentFrontend"]
+
+
+class _Waiter:
+    __slots__ = ("request", "event", "value", "error")
+
+    def __init__(self, request: ClientRequest) -> None:
+        self.request = request
+        self.event = threading.Event()
+        self.value: bytes | None = None
+        self.error: BaseException | None = None
+
+
+class ConcurrentFrontend:
+    """Thread-safe batching facade over a Waffle datastore.
+
+    Parameters
+    ----------
+    datastore:
+        The deployment to serve.
+    max_delay_s:
+        Longest a partial batch waits for stragglers before dispatching.
+    """
+
+    def __init__(self, datastore: WaffleDatastore,
+                 max_delay_s: float = 0.01) -> None:
+        if max_delay_s <= 0:
+            raise ConfigurationError("max_delay_s must be positive")
+        self.datastore = datastore
+        self.max_delay_s = max_delay_s
+        self._lock = threading.Lock()
+        self._queue: list[_Waiter] = []
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self.batches_dispatched = 0
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            daemon=True)
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # client interface (called from any thread)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bytes:
+        return self._submit(ClientRequest(op=Operation.READ, key=key))
+
+    def put(self, key: str, value: bytes) -> bytes:
+        return self._submit(ClientRequest(op=Operation.WRITE, key=key,
+                                          value=value))
+
+    def _submit(self, request: ClientRequest) -> bytes:
+        waiter = _Waiter(request)
+        with self._lock:
+            if self._closed:
+                raise ClosedError("frontend is closed")
+            self._queue.append(waiter)
+            self._wakeup.notify()
+        waiter.event.wait()
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.value  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Drain outstanding requests and stop the dispatcher."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify()
+        self._dispatcher.join(timeout=5)
+
+    def __enter__(self) -> "ConcurrentFrontend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        r = self.datastore.config.r
+        while True:
+            with self._lock:
+                if not self._queue:
+                    if self._closed:
+                        return
+                    self._wakeup.wait(timeout=self.max_delay_s)
+                    continue
+                if len(self._queue) < r and not self._closed:
+                    # Give stragglers a chance to fill the batch.
+                    self._wakeup.wait(timeout=self.max_delay_s)
+                take = self._queue[:r]
+                self._queue = self._queue[len(take):]
+            if take:
+                self._run_batch(take)
+
+    def _run_batch(self, waiters: list[_Waiter]) -> None:
+        try:
+            responses = self.datastore.execute_batch(
+                [waiter.request for waiter in waiters])
+            by_id = {resp.request_id: resp.value for resp in responses}
+            for waiter in waiters:
+                waiter.value = by_id[waiter.request.request_id]
+        except BaseException as error:  # noqa: BLE001 - deliver to callers
+            for waiter in waiters:
+                waiter.error = error
+        finally:
+            for waiter in waiters:
+                waiter.event.set()
+            self.batches_dispatched += 1

@@ -1,0 +1,71 @@
+"""Insert/delete support: swapping dummy and real objects (§6.2).
+
+The paper: "Depending on the number of dummy objects, D, configured by an
+application, Waffle can support insert and delete requests by swapping
+dummy objects for real objects for inserts and vice versa for deletes."
+
+The proxy drains this queue at the start of each batch round:
+
+* an **insert** consumes one dummy — the proxy reads the dummy's storage
+  id in a regular fake-dummy slot but *retires* it instead of rewriting
+  it, while the new real object enters the cache and is written out under
+  a PRF-derived id on eviction.  D shrinks by one, N grows by one.
+* a **delete** births one dummy — the deleted key's server copy (if any)
+  is force-read in a fake-real slot and dropped, while a fresh dummy is
+  written in its place.  N shrinks by one, D grows by one.
+
+Both directions keep every round at exactly ``B`` reads and ``B`` writes
+and change the α/β bounds only through the updated N and D, which
+:meth:`~repro.core.config.WaffleConfig.alpha_bound` reflects when
+re-evaluated with the current counts (the paper notes the bounds change;
+§7's formulas remain the governing expressions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ProtocolError
+
+__all__ = ["MutationQueue"]
+
+
+class MutationQueue:
+    """Pending insert/delete mutations awaiting the next batch rounds."""
+
+    __slots__ = ("_inserts", "_deletes")
+
+    def __init__(self) -> None:
+        self._inserts: deque[tuple[str, bytes]] = deque()
+        self._deletes: deque[str] = deque()
+
+    def enqueue_insert(self, key: str, value: bytes) -> None:
+        if any(k == key for k, _ in self._inserts):
+            raise ProtocolError(f"insert already pending for {key!r}")
+        self._inserts.append((key, value))
+
+    def enqueue_delete(self, key: str) -> None:
+        if key in self._deletes:
+            raise ProtocolError(f"delete already pending for {key!r}")
+        self._deletes.append(key)
+
+    def drain(self, insert_limit: int, delete_limit: int,
+              ) -> tuple[list[tuple[str, bytes]], list[str]]:
+        """Take up to the given numbers of inserts and deletes for one round.
+
+        Inserts are bounded by the dummy reads per round (f_D); deletes by
+        the guaranteed fake-real budget (f_R minimum).
+        """
+        inserts = [self._inserts.popleft()
+                   for _ in range(min(insert_limit, len(self._inserts)))]
+        deletes = [self._deletes.popleft()
+                   for _ in range(min(delete_limit, len(self._deletes)))]
+        return inserts, deletes
+
+    @property
+    def pending_inserts(self) -> int:
+        return len(self._inserts)
+
+    @property
+    def pending_deletes(self) -> int:
+        return len(self._deletes)

@@ -1,0 +1,448 @@
+"""The Waffle proxy: Algorithm 1 plus initialization (§6).
+
+The proxy is the trusted, stateful component.  Per batch round it:
+
+1. **Read phase** — serves cache hits locally; deduplicates misses;
+   appends ``f_D`` fake queries on dummy objects and
+   ``f_R = B - (r + f_D)`` fake queries on least-recently-accessed real
+   objects; derives each storage id as ``prf(k, ts_k)`` *before* bumping
+   ``ts_k`` to the current round; reads the ``B`` ids in one pipelined
+   batch and then deletes them (each id is read at most once, Challenge 4).
+2. **Write phase** — answers deduplicated requests from the fetched
+   values; caches every fetched real object; evicts the cache back down to
+   ``C``, writing each evicted object back under its *new* id
+   ``prf(k, ts'_k)``; re-encrypts and rewrites the ``f_D`` dummies under
+   their new ids.  Every round therefore reads exactly ``B`` ids and
+   writes exactly ``B`` ids.
+
+Two deliberate deviations from the pseudocode-as-printed, both discussed
+in the paper's prose:
+
+* Algorithm 1 line 10 as printed would enqueue a server fetch even for a
+  write whose key is cached — but a cached key has no server copy (an
+  object "either only resides in the cache or at the server", Challenge 4),
+  so the fetch would fail; cache-hit writes are served purely locally.
+* the "background thread" that deletes read ids runs synchronously here
+  ("deleting these objects has no security implications", §6.2).
+
+Small-cache regime: Algorithm 1 assumes ``C >= B - f_D + R``.  Below
+that (the paper's "re-write the objects fetched" fallback, §6.2) a
+write-miss key can be evicted back to the server before its fetched
+server copy is processed; the stale copy is then discarded rather than
+resurrected, so such rounds write slightly fewer than ``B`` objects.
+In the standard regime every round writes exactly ``B``.
+
+Insert/delete support (§6.2 end) swaps dummy objects for real objects and
+vice versa; see :mod:`repro.core.mutations`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.batch import ClientRequest, ClientResponse
+from repro.core.config import WaffleConfig
+from repro.core.mutations import MutationQueue
+from repro.core.timestamp_index import DummyObjectIndex, RealObjectIndex
+from repro.crypto.keys import KeyChain
+from repro.ds.lru import LruCache
+from repro.errors import ConfigurationError, ProtocolError
+from repro.storage.base import StorageBackend
+from repro.storage.recording import RecordingStore
+from repro.workloads.trace import Operation
+
+__all__ = ["RoundStats", "WaffleProxy"]
+
+_DUMMY_PREFIX = "\x00dummy:"
+
+
+@dataclass(slots=True)
+class RoundStats:
+    """Operation counts of one batch round, consumed by the cost model."""
+
+    round: int
+    requests: int = 0
+    cache_hits: int = 0
+    unique_real_reads: int = 0  # r
+    fake_real_reads: int = 0  # f_R
+    fake_dummy_reads: int = 0  # f_D actually issued
+    server_reads: int = 0
+    server_writes: int = 0
+    server_deletes: int = 0
+    prf_evals: int = 0
+    decryptions: int = 0
+    encryptions: int = 0
+    cache_ops: int = 0
+    index_ops: int = 0
+
+
+@dataclass(slots=True)
+class ProxyTotals:
+    """Lifetime aggregates across all rounds."""
+
+    rounds: int = 0
+    requests: int = 0
+    cache_hits: int = 0
+    server_reads: int = 0
+    server_writes: int = 0
+    max_transient_cache: int = 0
+    stats_by_round: list = field(default_factory=list)
+
+
+class WaffleProxy:
+    """Stateful trusted proxy executing Algorithm 1.
+
+    Parameters
+    ----------
+    config:
+        System parameters (Table 1).
+    store:
+        The untrusted server.  Wrap it in a
+        :class:`~repro.storage.recording.RecordingStore` to capture the
+        adversary's view; the proxy advances its round counter if present.
+    keychain:
+        Proxy-held secrets; defaults to a fresh random keychain.
+    keep_round_stats:
+        Retain per-round :class:`RoundStats` (benchmarks need them; long
+        soak tests can disable to bound memory).
+    """
+
+    def __init__(self, config: WaffleConfig, store: StorageBackend,
+                 keychain: KeyChain | None = None,
+                 keep_round_stats: bool = True,
+                 log_ids: bool = False) -> None:
+        self.config = config
+        self.store = store
+        self.keychain = keychain if keychain is not None else KeyChain()
+        self._rng = random.Random(config.seed)
+        self.cache = LruCache(config.c)
+        self.ts = 0
+        self.totals = ProxyTotals()
+        self._keep_round_stats = keep_round_stats
+        self.mutations = MutationQueue()
+        self._real_index: RealObjectIndex | None = None
+        self._dummy_index: DummyObjectIndex | None = None
+        self._initialized = False
+        self._last_stats: RoundStats | None = None
+        #: Optional storage-id provenance (sid -> plaintext key): the
+        #: system-side ground truth the security analysis uses to measure
+        #: beta, which the adversary cannot observe (§8.3.1).
+        self.id_log: dict[str, str] | None = {} if log_ids else None
+
+    # ------------------------------------------------------------------
+    # initialization (§6.1)
+    # ------------------------------------------------------------------
+    def initialize(self, items: dict[str, bytes]) -> None:
+        """Load the initial dataset: seed the cache, BSTs and the server."""
+        if self._initialized:
+            raise ProtocolError("proxy already initialized")
+        if len(items) != self.config.n:
+            raise ConfigurationError(
+                f"expected N={self.config.n} items, got {len(items)}"
+            )
+        if any(key.startswith(_DUMMY_PREFIX) for key in items):
+            raise ConfigurationError("client keys may not use the dummy prefix")
+
+        cfg = self.config
+        seed_base = self._rng.randrange(2**63)
+        self._real_index = RealObjectIndex(items.keys(), seed=seed_base)
+        dummy_keys = [f"{_DUMMY_PREFIX}{i:012d}" for i in range(cfg.d)]
+        self._dummy_index = DummyObjectIndex(
+            dummy_keys, seed=seed_base + 17,
+            reshuffle=cfg.dummy_policy == "reshuffle",
+        )
+
+        # Randomly chosen cache seed of C real objects.
+        all_keys = list(items.keys())
+        self._rng.shuffle(all_keys)
+        cached_keys = all_keys[: cfg.c]
+        server_keys = all_keys[cfg.c:]
+        for key in cached_keys:
+            self.cache.put(key, items[key])
+
+        # Remaining reals and all dummies, shuffled, encoded, loaded.
+        outsourced: list[tuple[str, bytes]] = []
+        for key in server_keys:
+            self._real_index.mark_server_resident(key)
+            outsourced.append((self._encode_id(key, 0), self._encrypt(items[key])))
+        for key in dummy_keys:
+            outsourced.append((self._encode_id(key, 0), self._encrypt(self._dummy_payload())))
+        self._rng.shuffle(outsourced)
+        self.store.multi_put(outsourced)
+        self._initialized = True
+
+    # ------------------------------------------------------------------
+    # crypto helpers
+    # ------------------------------------------------------------------
+    def _encode_id(self, key: str, ts: int) -> str:
+        sid = self.keychain.prf.derive(key, ts)
+        if self.id_log is not None:
+            self.id_log[sid] = key
+        return sid
+
+    def _encrypt(self, value: bytes) -> bytes:
+        return self.keychain.cipher.encrypt(value)
+
+    def _decrypt(self, blob: bytes) -> bytes:
+        return self.keychain.cipher.decrypt(blob)
+
+    def _dummy_payload(self) -> bytes:
+        return self._rng.randbytes(self.config.value_size)
+
+    def _get_index(self, key: str) -> str:
+        """GetIndex(k): prf(k, BST.getTimestamp(k))."""
+        if key.startswith(_DUMMY_PREFIX):
+            return self._encode_id(key, self._dummy_index.stored_timestamp(key))
+        return self._encode_id(key, self._real_index.timestamp(key))
+
+    def _is_dummy(self, key: str) -> bool:
+        return key.startswith(_DUMMY_PREFIX)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def handle_batch(self, requests: list[ClientRequest]) -> list[ClientResponse]:
+        """Process one batch of up to R client requests; returns responses."""
+        if not self._initialized:
+            raise ProtocolError("proxy not initialized")
+        cfg = self.config
+        if len(requests) > cfg.r:
+            raise ProtocolError(
+                f"batch carries {len(requests)} requests, R={cfg.r}"
+            )
+        real_index = self._real_index
+        dummy_index = self._dummy_index
+        self.ts += 1
+        stats = RoundStats(round=self.ts, requests=len(requests))
+        recording = self.store if isinstance(self.store, RecordingStore) else None
+        if recording is not None:
+            recording.next_round()
+
+        cli_resp: dict[int, bytes] = {}
+        dedup: dict[str, list[tuple[int, bool]]] = {}
+
+        inserts, deletes = self.mutations.drain(
+            insert_limit=min(cfg.f_d, len(dummy_index)),
+            delete_limit=cfg.f_r_min,
+        )
+
+        # -------------------- read phase --------------------
+        for request in requests:
+            key = request.key
+            if key not in real_index:
+                raise ProtocolError(f"request for unknown key: {key!r}")
+            if request.op is Operation.READ:
+                if key in self.cache:
+                    cli_resp[request.request_id] = self.cache.get(key)
+                    stats.cache_hits += 1
+                    stats.cache_ops += 1
+                else:
+                    dedup.setdefault(key, []).append((request.request_id, True))
+            else:  # WRITE
+                if key in self.cache:
+                    self.cache.put(key, request.value)
+                    stats.cache_hits += 1
+                else:
+                    dedup.setdefault(key, []).append((request.request_id, False))
+                    self.cache.put(key, request.value)
+                stats.cache_ops += 1
+                cli_resp[request.request_id] = request.value
+
+        read_batch: dict[str, str] = {}  # storage id -> plaintext key
+        for key in dedup:
+            read_batch[self._get_index(key)] = key
+            real_index.set_timestamp(key, self.ts)
+            real_index.mark_cached(key)
+            stats.prf_evals += 1
+            stats.index_ops += 2
+
+        # Deleted server-resident keys are force-read this round so their
+        # ids leave the server (they consume fake-real slots below).
+        forced_reads: list[str] = []
+        newborn_dummies: list[str] = []
+        for key in deletes:
+            if key in dedup:
+                # The key is being fetched for a client in this very round;
+                # retry the delete next round to keep the response correct.
+                self.mutations.enqueue_delete(key)
+                continue
+            if key in self.cache:
+                self.cache.remove(key)
+                real_index.drop_key(key)
+            else:
+                forced_reads.append(key)
+            newborn_dummies.append(self._new_dummy_key())
+
+        # Fake queries on dummy objects (lines 20-23).  Retiring dummies
+        # (freeing slots for inserts) are read but will not be rewritten.
+        retired_dummies: set[str] = set()
+        dummy_budget = min(cfg.f_d, len(dummy_index))
+        for i in range(dummy_budget):
+            key = dummy_index.min_timestamp_key()
+            read_batch[self._get_index(key)] = key
+            stats.prf_evals += 1
+            if i < len(inserts):
+                dummy_index.swap_out(key)
+                retired_dummies.add(key)
+            else:
+                dummy_index.record_access(key, self.ts)
+            stats.index_ops += 1
+            stats.fake_dummy_reads += 1
+        if len(inserts) > len(retired_dummies):
+            raise ProtocolError("insert queue exceeded available dummy reads")
+        for key, value in inserts:
+            real_index.add_key(key, self.ts, server_resident=False)
+            self.cache.put(key, value)
+            stats.cache_ops += 1
+
+        # Fake queries on real objects (lines 24-28): least-recently
+        # accessed server-resident keys, preceded by any forced deletes.
+        r = len(dedup)
+        f_r = cfg.b - (r + stats.fake_dummy_reads)
+        if f_r < 0:
+            raise ProtocolError("batch overflow: r + f_D exceeds B")
+        dropped_reads: set[str] = set()
+        for i in range(f_r):
+            if forced_reads:
+                key = forced_reads.pop()
+                read_batch[self._get_index(key)] = key
+                real_index.drop_key(key)
+                dropped_reads.add(key)
+                stats.prf_evals += 1
+                stats.index_ops += 1
+                continue
+            if real_index.server_resident_count == 0:
+                raise ProtocolError(
+                    "no server-resident real objects left for fake queries; "
+                    "N - C is too small for this configuration"
+                )
+            if cfg.fake_real_policy == "least_recent":
+                key = real_index.min_timestamp_key()
+            else:  # "uniform": the Challenge-2 ablation
+                key = real_index.random_resident_key(self._rng)
+            read_batch[self._get_index(key)] = key
+            real_index.set_timestamp(key, self.ts)
+            real_index.mark_cached(key)
+            stats.prf_evals += 1
+            stats.index_ops += 2
+        if forced_reads:
+            raise ProtocolError("delete queue exceeded fake-real budget")
+        stats.unique_real_reads = r
+        stats.fake_real_reads = f_r
+
+        # One pipelined read of B ids, then delete them (read-once ids).
+        sids = sorted(read_batch)
+        blobs = self.store.multi_get(sids)
+        self.store.multi_delete(sids)
+        stats.server_reads = len(sids)
+        stats.server_deletes = len(sids)
+
+        # -------------------- write phase --------------------
+        # "The algorithm first evicts an object from the cache before
+        # adding a new object" (lines 37-41): interleaving eviction with
+        # insertion keeps the transient cache at C + R, never C + B.
+        write_batch: list[tuple[str, bytes]] = []
+        written_this_phase: set[str] = set()
+
+        def evict_one() -> None:
+            evicted_key, evicted_value = self.cache.evict()
+            real_index.mark_server_resident(evicted_key)
+            written_this_phase.add(evicted_key)
+            write_batch.append(
+                (self._get_index(evicted_key), self._encrypt(evicted_value))
+            )
+            stats.prf_evals += 1
+            stats.encryptions += 1
+            stats.cache_ops += 1
+            stats.index_ops += 1
+
+        for sid, blob in zip(sids, blobs):
+            key = read_batch[sid]
+            if self._is_dummy(key):
+                if key in retired_dummies:
+                    continue  # slot freed for an inserted real object
+                write_batch.append(
+                    (self._get_index(key), self._encrypt(self._dummy_payload()))
+                )
+                stats.prf_evals += 1
+                stats.encryptions += 1
+                continue
+            value = self._decrypt(blob)
+            stats.decryptions += 1
+            if key in dropped_reads:
+                continue  # deleted key: fetched only to clear its id
+            for request_id, need_resp in dedup.get(key, ()):
+                if need_resp:
+                    cli_resp[request_id] = value
+            if key in written_this_phase:
+                # A write-miss key whose (newer) cached value was already
+                # evicted back to the server earlier in this phase; do not
+                # resurrect the stale fetched copy.
+                continue
+            if key in self.cache:
+                self.cache.touch(key)  # written this batch; cache value wins
+            else:
+                if len(self.cache) >= cfg.c:
+                    evict_one()
+                self.cache.put(key, value)
+            stats.cache_ops += 1
+
+        for key in newborn_dummies:
+            dummy_index.swap_in(key, self.ts)
+            write_batch.append(
+                (self._get_index(key), self._encrypt(self._dummy_payload()))
+            )
+            stats.prf_evals += 1
+            stats.encryptions += 1
+
+        self.totals.max_transient_cache = max(
+            self.totals.max_transient_cache, len(self.cache)
+        )
+        # Drain the write-miss overage (the C + R transient) back to C.
+        while self.cache.over_capacity():
+            evict_one()
+
+        self.store.multi_put(write_batch)
+        stats.server_writes = len(write_batch)
+        dummy_index.end_round(self.ts)
+
+        # -------------------- bookkeeping --------------------
+        totals = self.totals
+        totals.rounds += 1
+        totals.requests += stats.requests
+        totals.cache_hits += stats.cache_hits
+        totals.server_reads += stats.server_reads
+        totals.server_writes += stats.server_writes
+        if self._keep_round_stats:
+            totals.stats_by_round.append(stats)
+        self._last_stats = stats
+
+        return [
+            ClientResponse(request_id=request.request_id, key=request.key,
+                           value=cli_resp[request.request_id])
+            for request in requests
+        ]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def last_stats(self) -> RoundStats:
+        return self._last_stats
+
+    @property
+    def real_count(self) -> int:
+        """Current N (changes under inserts/deletes)."""
+        return len(self._real_index) if self._real_index else 0
+
+    @property
+    def dummy_count(self) -> int:
+        """Current D (changes under inserts/deletes)."""
+        return len(self._dummy_index) if self._dummy_index else 0
+
+    def contains_key(self, key: str) -> bool:
+        return self._real_index is not None and key in self._real_index
+
+    def _new_dummy_key(self) -> str:
+        return f"{_DUMMY_PREFIX}n{self._rng.randrange(2**63):015x}"

@@ -1,0 +1,99 @@
+"""Time-based batch scheduling: bounding the wait for R requests.
+
+Algorithm 1 "waits to receive R client requests before creating a
+batch" (§4, Challenge 1).  Under light load that wait is unbounded, so a
+deployed proxy needs a flush deadline.  :class:`BatchScheduler` wraps a
+:class:`~repro.core.client.WaffleClient` with a simulated-clock deadline:
+a batch dispatches when either R requests have accumulated or the oldest
+buffered request has waited ``max_delay_s``.
+
+Security note (documented, inherent): timeout dispatches reveal *when*
+traffic is light — a batch of mostly-fake queries fires on the deadline.
+The batch is still shape-identical (B reads/B writes of rotating ids),
+so the α/β guarantees are untouched; what leaks is the arrival-rate
+envelope, which the paper's model already concedes to the adversary
+(it observes request timing).  Operators trade tail latency against
+fake-query overhead with ``max_delay_s``.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import PendingResult, WaffleClient
+from repro.core.datastore import WaffleDatastore
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimClock
+
+__all__ = ["BatchScheduler"]
+
+
+class BatchScheduler:
+    """Deadline-driven batching over a Waffle datastore.
+
+    Parameters
+    ----------
+    datastore:
+        The deployment to drive.
+    clock:
+        The simulated clock the deadline is measured on.
+    max_delay_s:
+        Oldest-request age that forces a flush.
+    """
+
+    def __init__(self, datastore: WaffleDatastore, clock: SimClock,
+                 max_delay_s: float) -> None:
+        if max_delay_s <= 0:
+            raise ConfigurationError("max_delay_s must be positive")
+        self._client = WaffleClient(datastore)
+        self._clock = clock
+        self.max_delay_s = max_delay_s
+        self._oldest_arrival: float | None = None
+        self.timeout_flushes = 0
+        self.full_flushes = 0
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> PendingResult:
+        return self._submit("get", key, None)
+
+    def put(self, key: str, value: bytes) -> PendingResult:
+        return self._submit("put", key, value)
+
+    def _submit(self, kind: str, key: str, value) -> PendingResult:
+        if self._oldest_arrival is None:
+            self._oldest_arrival = self._clock.now
+        before = len(self._client)
+        if kind == "get":
+            result = self._client.get(key)
+        else:
+            result = self._client.put(key, value)
+        if len(self._client) < before + 1:  # auto-flushed at R
+            self.full_flushes += 1
+            self._oldest_arrival = None
+        return result
+
+    def tick(self) -> int:
+        """Advance scheduling: flush if the deadline passed.
+
+        Call whenever the clock moves (an event loop would arm a timer).
+        Returns the number of requests flushed (0 if no deadline hit).
+        """
+        if self._oldest_arrival is None:
+            return 0
+        if self._clock.now - self._oldest_arrival < self.max_delay_s:
+            return 0
+        flushed = self._client.flush()
+        if flushed:
+            self.timeout_flushes += 1
+        self._oldest_arrival = None
+        return flushed
+
+    def flush(self) -> int:
+        """Force-flush (shutdown path)."""
+        flushed = self._client.flush()
+        self._oldest_arrival = None
+        return flushed
+
+    @property
+    def buffered(self) -> int:
+        return len(self._client)

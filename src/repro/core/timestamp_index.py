@@ -1,0 +1,195 @@
+"""Access-timestamp index: the proxy's two balanced BSTs (§6.1).
+
+Waffle maintains one balanced BST for real objects and one for dummy
+objects, ordered on ``<ts : plaintext_key>``, to find least-recently-
+accessed objects for fake queries (Challenge 2).  This module wraps the
+treap substrate with Waffle's specific semantics:
+
+* **Real index** (:class:`RealObjectIndex`): tracks *server-resident* real
+  keys only — Algorithm 1 line 26 requires fake-query candidates to not be
+  in the cache, so cached keys are removed from the tree and re-inserted
+  on eviction.  The authoritative ``timestamp`` of *every* real key (cached
+  or not) is kept alongside, because ``GetIndex`` needs it when evicted
+  objects are written back.
+* **Dummy index** (:class:`DummyObjectIndex`): all ``D`` dummies are always
+  server-resident.  The paper resets all dummy timestamps once every
+  ``D/f_D`` batches "to randomize the order in which dummy objects are
+  picked".  A naive reset would desynchronize the selection order from the
+  storage ids (which embed the timestamp of the *last write*), so the
+  index keeps two notions per dummy: ``stored_ts`` — the timestamp baked
+  into its current storage id — and the tree position used for selection,
+  whose tiebreak is reshuffled on every epoch reset.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ds.treap import Treap
+
+__all__ = ["DummyObjectIndex", "RealObjectIndex"]
+
+
+class RealObjectIndex:
+    """Timestamps for real objects + ordered index of server-resident ones.
+
+    Tree order is ``(timestamp, arrival, key)``: the arrival counter makes
+    equal-timestamp keys FIFO, so a freshly evicted key cannot be
+    indefinitely preempted by later evictions that happen to sort before
+    it lexicographically (observable as an α tail otherwise).
+    """
+
+    __slots__ = ("_timestamps", "_tree", "_arrivals")
+
+    def __init__(self, keys, seed: int | None = None) -> None:
+        self._timestamps: dict[str, int] = {}
+        self._tree = Treap(seed=seed)
+        self._arrivals = 0
+        for key in keys:
+            self._timestamps[key] = 0
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._timestamps
+
+    @property
+    def server_resident_count(self) -> int:
+        return len(self._tree)
+
+    def timestamp(self, key: str) -> int:
+        """Current access timestamp of ``key`` (BST.getTimestamp)."""
+        return self._timestamps[key]
+
+    def _next_arrival(self) -> int:
+        self._arrivals += 1
+        return self._arrivals
+
+    def set_timestamp(self, key: str, ts: int) -> None:
+        """BST.setTimestamp: update ``key``'s timestamp; if the key is
+        tracked as server-resident its tree position moves accordingly."""
+        if key not in self._timestamps:
+            raise KeyError(key)
+        self._timestamps[key] = ts
+        if key in self._tree:
+            self._tree.insert(key, (ts, self._next_arrival(), key))
+
+    def mark_server_resident(self, key: str) -> None:
+        """Key now lives on the server: make it a fake-query candidate."""
+        self._tree.insert(
+            key, (self._timestamps[key], self._next_arrival(), key))
+
+    def mark_cached(self, key: str) -> None:
+        """Key now lives in the cache: exclude it from fake-query selection."""
+        if key in self._tree:
+            self._tree.remove(key)
+
+    def min_timestamp_key(self) -> str:
+        """BST.getMinTimestampObj(real): least-recently-accessed resident key."""
+        _, key = self._tree.min()
+        return key
+
+
+    def random_resident_key(self, rng) -> str:
+        """Uniformly random server-resident key (the Challenge-2 ablation:
+        what happens when fake queries ignore recency)."""
+        _, key = self._tree.select(rng.randrange(len(self._tree)))
+        return key
+
+    def add_key(self, key: str, ts: int, server_resident: bool) -> None:
+        """Register a brand-new real key (insert support, §6.2)."""
+        if key in self._timestamps:
+            raise KeyError(f"key already tracked: {key}")
+        self._timestamps[key] = ts
+        if server_resident:
+            self._tree.insert(key, (ts, self._next_arrival(), key))
+
+    def drop_key(self, key: str) -> None:
+        """Forget a real key entirely (delete support, §6.2)."""
+        del self._timestamps[key]
+        if key in self._tree:
+            self._tree.remove(key)
+
+
+class DummyObjectIndex:
+    """Selection order and stored timestamps for the ``D`` dummy objects."""
+
+    __slots__ = ("_stored_ts", "_tree", "_rng", "_accessed_since_reset",
+                 "reshuffle")
+
+    def __init__(self, keys, seed: int | None = None,
+                 reshuffle: bool = True) -> None:
+        self._rng = random.Random(seed)
+        #: Apply the paper's epoch reset (see WaffleConfig.dummy_policy).
+        self.reshuffle = reshuffle
+        self._stored_ts: dict[str, int] = {}
+        self._tree = Treap(seed=None if seed is None else seed + 1)
+        for key in keys:
+            self._stored_ts[key] = 0
+            self._tree.insert(key, (0, self._rng.random(), key))
+        self._accessed_since_reset = 0
+
+    def __len__(self) -> int:
+        return len(self._stored_ts)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._stored_ts
+
+    def stored_timestamp(self, key: str) -> int:
+        """Timestamp embedded in the dummy's current storage id."""
+        return self._stored_ts[key]
+
+    def min_timestamp_key(self) -> str:
+        """BST.getMinTimestampObj(dummy)."""
+        _, key = self._tree.min()
+        return key
+
+    def record_access(self, key: str, ts: int) -> None:
+        """The dummy was just read; its next storage id embeds ``ts``.
+
+        Once every dummy has been accessed (``D`` accesses), all selection
+        positions are reshuffled — the paper's epoch reset — while the
+        stored timestamps, which storage ids depend on, advance normally.
+        The reshuffle is deferred to :meth:`end_round` so a dummy cannot
+        be selected twice within one batch (its new id is only written in
+        the round's write phase).
+        """
+        self._stored_ts[key] = ts
+        self._tree.insert(key, (ts, self._rng.random(), key))
+        self._accessed_since_reset += 1
+
+    def end_round(self, ts: int) -> None:
+        """Apply the epoch reset if every dummy has been accessed."""
+        if not self.reshuffle:
+            return
+        if self._stored_ts and self._accessed_since_reset >= len(self._stored_ts):
+            self._reshuffle(ts)
+            self._accessed_since_reset = 0
+
+    def _reshuffle(self, ts: int) -> None:
+        entries = list(self._stored_ts)
+        self._rng.shuffle(entries)
+        fresh = Treap()
+        for key in entries:
+            fresh.insert(key, (ts, self._rng.random(), key))
+        self._tree = fresh
+
+    def swap_out(self, key: str) -> int:
+        """Remove a dummy (insert support swaps it for a real key); returns
+        the timestamp baked into its current storage id."""
+        ts = self._stored_ts.pop(key)
+        self._tree.remove(key)
+        return ts
+
+    def swap_in(self, key: str, ts: int) -> None:
+        """Add a dummy (delete support swaps a real key for a dummy)."""
+        if key in self._stored_ts:
+            raise KeyError(f"dummy already tracked: {key}")
+        self._stored_ts[key] = ts
+        self._tree.insert(key, (ts, self._rng.random(), key))
+
+    def any_key(self) -> str:
+        """An arbitrary dummy key (used by insert's swap)."""
+        _, key = self._tree.min()
+        return key

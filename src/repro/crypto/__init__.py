@@ -1,0 +1,17 @@
+"""Cryptographic substrate: PRFs, authenticated encryption, key management.
+
+Waffle (§3.1) encodes every plaintext key ``k`` as ``prf(k, ts_k)`` — a
+pseudo-random function of the key and its current access timestamp — and
+encrypts values with an authenticated symmetric scheme ``E(v)``.  This
+package provides both primitives using only the standard library
+(:mod:`hashlib`/:mod:`hmac`), which keeps the reproduction dependency-free
+while preserving the properties the protocol relies on: determinism of the
+PRF, pseudo-randomness across distinct inputs, and tamper detection for
+ciphertexts.
+"""
+
+from repro.crypto.aead import AuthenticatedCipher
+from repro.crypto.keys import KeyChain
+from repro.crypto.prf import Prf
+
+__all__ = ["AuthenticatedCipher", "KeyChain", "Prf"]

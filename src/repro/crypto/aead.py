@@ -1,0 +1,90 @@
+"""Authenticated encryption built from the standard library.
+
+The environment offers no third-party crypto package, so we construct an
+encrypt-then-MAC scheme from SHA-256:
+
+* confidentiality: a per-message random nonce seeds a SHA-256 keystream
+  (CTR-style: ``SHA256(enc_key || nonce || counter)``) XOR-ed with the
+  plaintext;
+* integrity: HMAC-SHA256 under an independent MAC key over
+  ``nonce || ciphertext``; verification is constant-time.
+
+This is the classical encrypt-then-MAC composition and gives exactly the
+interface and properties Waffle's proxy needs from ``E(v)`` (§3.1):
+randomized ciphertexts (re-encrypting the same value yields a fresh
+ciphertext, so written-back objects are unlinkable) and tamper detection.
+Ciphertext length depends only on plaintext length, matching the paper's
+equal-length-values assumption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+from repro.errors import IntegrityError
+
+__all__ = ["AuthenticatedCipher"]
+
+_NONCE_LEN = 16
+_TAG_LEN = 32
+_BLOCK_LEN = 32  # SHA-256 output size drives the keystream block size
+
+
+class AuthenticatedCipher:
+    """Encrypt-then-MAC authenticated symmetric cipher.
+
+    Parameters
+    ----------
+    enc_key:
+        Key for the keystream.
+    mac_key:
+        Independent key for the HMAC tag.
+    rng:
+        Optional ``random.Random``-like object with ``randbytes``; supplied
+        by tests for deterministic nonces.  Defaults to ``os.urandom``.
+    """
+
+    __slots__ = ("_enc_key", "_mac_key", "_randbytes")
+
+    def __init__(self, enc_key: bytes, mac_key: bytes, rng=None) -> None:
+        if not enc_key or not mac_key:
+            raise ValueError("cipher keys must be non-empty")
+        if enc_key == mac_key:
+            raise ValueError("encryption and MAC keys must be independent")
+        self._enc_key = bytes(enc_key)
+        self._mac_key = bytes(mac_key)
+        self._randbytes = rng.randbytes if rng is not None else os.urandom
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = []
+        for counter in range((length + _BLOCK_LEN - 1) // _BLOCK_LEN):
+            block_input = self._enc_key + nonce + counter.to_bytes(8, "big")
+            blocks.append(hashlib.sha256(block_input).digest())
+        return b"".join(blocks)[:length]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Return ``nonce || ciphertext || tag`` for ``plaintext``."""
+        nonce = self._randbytes(_NONCE_LEN)
+        stream = self._keystream(nonce, len(plaintext))
+        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
+        return nonce + body + tag
+
+    def decrypt(self, blob: bytes) -> bytes:
+        """Verify and decrypt ``blob``; raise :class:`IntegrityError` on tamper."""
+        if len(blob) < _NONCE_LEN + _TAG_LEN:
+            raise IntegrityError("ciphertext too short")
+        nonce = blob[:_NONCE_LEN]
+        body = blob[_NONCE_LEN:-_TAG_LEN]
+        tag = blob[-_TAG_LEN:]
+        expected = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError("authentication tag mismatch")
+        stream = self._keystream(nonce, len(body))
+        return bytes(c ^ s for c, s in zip(body, stream))
+
+    def ciphertext_overhead(self) -> int:
+        """Bytes added to every plaintext (nonce + tag)."""
+        return _NONCE_LEN + _TAG_LEN

@@ -1,0 +1,53 @@
+"""Key management for the trusted proxy.
+
+The proxy owns all secrets (§3.1): the PRF key that derives storage ids and
+the keys of the authenticated value cipher.  :class:`KeyChain` derives all
+of them from one master secret with domain-separated HMAC so a single seed
+reproduces an entire deployment — important for deterministic tests and for
+replaying experiments.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import os
+
+from repro.crypto.aead import AuthenticatedCipher
+from repro.crypto.prf import Prf
+
+__all__ = ["KeyChain"]
+
+
+def _derive(master: bytes, label: bytes) -> bytes:
+    return hmac.new(master, b"repro.keychain/" + label, hashlib.sha256).digest()
+
+
+class KeyChain:
+    """Derives every proxy secret from a single master key.
+
+    Parameters
+    ----------
+    master:
+        Master secret.  ``None`` draws a fresh random secret.
+    rng:
+        Optional deterministic RNG forwarded to the value cipher (tests).
+    """
+
+    __slots__ = ("_master", "prf", "cipher")
+
+    def __init__(self, master: bytes | None = None, rng=None) -> None:
+        self._master = bytes(master) if master is not None else os.urandom(32)
+        if not self._master:
+            raise ValueError("master key must be non-empty")
+        self.prf = Prf(_derive(self._master, b"prf"))
+        self.cipher = AuthenticatedCipher(
+            enc_key=_derive(self._master, b"enc"),
+            mac_key=_derive(self._master, b"mac"),
+            rng=rng,
+        )
+
+    @classmethod
+    def from_seed(cls, seed: int, rng=None) -> "KeyChain":
+        """Deterministic keychain for reproducible experiments."""
+        return cls(seed.to_bytes(16, "big", signed=True), rng=rng)

@@ -1,0 +1,12 @@
+"""Data-structure substrate: the balanced BST and LRU cache Waffle relies on.
+
+§4 (Challenge 2) requires a balanced binary search tree ordered on
+``(timestamp, key)`` supporting minimum lookup and timestamp updates in
+``O(log n)``; §4 (Challenge 3) requires a bounded least-recently-used
+cache.  Both are implemented from scratch here.
+"""
+
+from repro.ds.lru import LruCache
+from repro.ds.treap import Treap
+
+__all__ = ["LruCache", "Treap"]

@@ -1,0 +1,91 @@
+"""Bounded least-recently-used cache (Waffle's proxy cache, §4 Challenge 3).
+
+Waffle's cache differs from a classical performance cache in two ways that
+the implementation must respect:
+
+* the bound ``C`` is enforced by the *proxy protocol*, not the cache: during
+  a batch the cache may transiently hold up to ``C + R`` objects, and the
+  write phase evicts back down to ``C`` (Algorithm 1, lines 37-41).  The
+  cache therefore exposes an explicit :meth:`evict` instead of evicting
+  implicitly on insert;
+* eviction order feeds the security bound β (Theorem 7.2), so recency
+  updates happen exactly where Algorithm 1 performs them (cache hits in the
+  read phase, insertions/updates in the write phase) — reads via
+  :meth:`peek` deliberately do *not* touch recency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """An LRU map with explicit eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Target capacity ``C``.  :meth:`over_capacity` reports how many
+        entries currently exceed it; the owner evicts down explicitly.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        """Return the cached value and mark ``key`` most recently used."""
+        value = self._entries[key]
+        self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key):
+        """Return the cached value without touching recency."""
+        return self._entries[key]
+
+    def put(self, key, value) -> None:
+        """Insert or update ``key`` and mark it most recently used.
+
+        Never evicts; the owner drains overflow via :meth:`evict`.
+        """
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+
+    def touch(self, key) -> None:
+        """Mark ``key`` most recently used without changing its value."""
+        self._entries.move_to_end(key)
+
+    def evict(self):
+        """Remove and return the least recently used ``(key, value)`` pair."""
+        if not self._entries:
+            raise KeyError("cache is empty")
+        return self._entries.popitem(last=False)
+
+    def remove(self, key):
+        """Remove ``key`` outright and return its value."""
+        return self._entries.pop(key)
+
+    def over_capacity(self) -> int:
+        """Number of entries beyond the configured capacity."""
+        return max(0, len(self._entries) - self.capacity)
+
+    def keys(self) -> Iterator:
+        """Keys from least to most recently used."""
+        return iter(self._entries)
+
+    def items(self) -> Iterator[tuple]:
+        """Items from least to most recently used."""
+        return iter(self._entries.items())

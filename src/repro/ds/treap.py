@@ -1,0 +1,261 @@
+"""A randomized treap: the balanced BST behind Waffle's timestamp index.
+
+Waffle keeps one balanced binary search tree per object class (real and
+dummy), ordered by ``<timestamp : plaintext_key>`` (§6.1), and needs three
+operations while assembling a batch:
+
+* ``min()`` — the least-recently-accessed object (fake-query candidate),
+* ``insert(key, ts)`` / ``remove(key)`` — timestamp updates,
+* membership and size queries.
+
+A treap keeps expected ``O(log n)`` height by pairing the BST order on the
+caller's key with a heap order on random priorities.  We expose a
+map-like interface: each *entry key* (the plaintext object id) appears at
+most once, positioned by its *sort key* (timestamp plus an optional
+tiebreak).  The module is self-contained and iterative where it matters so
+deep trees cannot hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = ["Treap"]
+
+
+class _Node:
+    __slots__ = ("sort_key", "entry", "priority", "left", "right", "size")
+
+    def __init__(self, sort_key, entry, priority: float) -> None:
+        self.sort_key = sort_key
+        self.entry = entry
+        self.priority = priority
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.size = 1
+
+    def refresh(self) -> None:
+        self.size = 1
+        if self.left is not None:
+            self.size += self.left.size
+        if self.right is not None:
+            self.size += self.right.size
+
+
+class Treap:
+    """Ordered map from *entry* to a *sort key*, backed by a treap.
+
+    ``sort_key`` values must be mutually comparable (Waffle uses tuples of
+    ``(timestamp, tiebreak, key)``).  Each entry appears at most once;
+    re-inserting an entry moves it to its new position.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the priority RNG; fixing it makes tree shapes (not
+        semantics) reproducible.
+    """
+
+    __slots__ = ("_root", "_position", "_rng")
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._root: _Node | None = None
+        self._position: dict = {}  # entry -> sort_key currently in the tree
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # rotations / structural helpers
+    # ------------------------------------------------------------------
+    def _merge(self, left: _Node | None, right: _Node | None) -> _Node | None:
+        """Merge two treaps where all of ``left`` sorts before ``right``."""
+        # Iterative merge via a parent chain to avoid recursion depth limits.
+        if left is None:
+            return right
+        if right is None:
+            return left
+        pseudo = _Node(None, None, 0.0)
+        tail = pseudo
+        attach_left = True
+        touched = []
+        while left is not None and right is not None:
+            if left.priority >= right.priority:
+                node, left = left, left.right
+                if attach_left:
+                    tail.left = node
+                else:
+                    tail.right = node
+                tail = node
+                touched.append(node)
+                attach_left = False
+            else:
+                node, right = right, right.left
+                if attach_left:
+                    tail.left = node
+                else:
+                    tail.right = node
+                tail = node
+                touched.append(node)
+                attach_left = True
+        remainder = left if left is not None else right
+        if attach_left:
+            tail.left = remainder
+        else:
+            tail.right = remainder
+        for node in reversed(touched):
+            node.refresh()
+        root = pseudo.left
+        return root
+
+    def _split(self, node: _Node | None, sort_key) -> tuple[_Node | None, _Node | None]:
+        """Split into (< sort_key, >= sort_key), iteratively."""
+        less_pseudo = _Node(None, None, 0.0)
+        geq_pseudo = _Node(None, None, 0.0)
+        less_tail, geq_tail = less_pseudo, geq_pseudo
+        touched = []
+        while node is not None:
+            touched.append(node)
+            if node.sort_key < sort_key:
+                less_tail.right = node
+                less_tail = node
+                node = node.right
+                less_tail.right = None
+            else:
+                geq_tail.left = node
+                geq_tail = node
+                node = node.left
+                geq_tail.left = None
+        for n in reversed(touched):
+            n.refresh()
+        return less_pseudo.right, geq_pseudo.left
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __contains__(self, entry) -> bool:
+        return entry in self._position
+
+    def sort_key_of(self, entry):
+        """Current sort key of ``entry`` (KeyError if absent)."""
+        return self._position[entry]
+
+    def insert(self, entry, sort_key) -> None:
+        """Insert ``entry`` at ``sort_key``; repositions existing entries."""
+        if entry in self._position:
+            self.remove(entry)
+        node = _Node(sort_key, entry, self._rng.random())
+        less, geq = self._split(self._root, sort_key)
+        self._root = self._merge(self._merge(less, node), geq)
+        self._position[entry] = sort_key
+
+    def remove(self, entry) -> None:
+        """Remove ``entry`` from the tree (KeyError if absent)."""
+        sort_key = self._position.pop(entry)
+        parent: _Node | None = None
+        node = self._root
+        went_left = False
+        # Sort keys are unique in Waffle's usage (the tiebreak includes the
+        # entry itself), so we can navigate directly to the node.
+        while node is not None and node.sort_key != sort_key:
+            parent = node
+            if sort_key < node.sort_key:
+                node, went_left = node.left, True
+            else:
+                node, went_left = node.right, False
+        if node is None:  # pragma: no cover - defensive: map out of sync
+            raise KeyError(entry)
+        replacement = self._merge(node.left, node.right)
+        if parent is None:
+            self._root = replacement
+        elif went_left:
+            parent.left = replacement
+        else:
+            parent.right = replacement
+        # Fix sizes on the root-to-parent path.
+        self._refresh_path(sort_key)
+
+    def _refresh_path(self, sort_key) -> None:
+        path = []
+        node = self._root
+        while node is not None:
+            path.append(node)
+            if sort_key < node.sort_key:
+                node = node.left
+            elif sort_key > node.sort_key:
+                node = node.right
+            else:
+                break
+        for n in reversed(path):
+            n.refresh()
+
+    def min(self):
+        """Return ``(sort_key, entry)`` with the smallest sort key."""
+        node = self._root
+        if node is None:
+            raise KeyError("treap is empty")
+        while node.left is not None:
+            node = node.left
+        return node.sort_key, node.entry
+
+    def pop_min(self):
+        """Remove and return ``(sort_key, entry)`` with the smallest sort key."""
+        sort_key, entry = self.min()
+        self.remove(entry)
+        return sort_key, entry
+
+    def select(self, rank: int):
+        """Return ``(sort_key, entry)`` of the ``rank``-th smallest element.
+
+        O(log n) via subtree sizes; used by the uniform-random fake-query
+        ablation to draw a uniformly random entry.
+        """
+        if not 0 <= rank < len(self._position):
+            raise IndexError(rank)
+        node = self._root
+        while node is not None:
+            left_size = node.left.size if node.left is not None else 0
+            if rank < left_size:
+                node = node.left
+            elif rank == left_size:
+                return node.sort_key, node.entry
+            else:
+                rank -= left_size + 1
+                node = node.right
+        raise IndexError(rank)  # pragma: no cover - sizes guarantee a hit
+
+    def items(self) -> Iterator[tuple]:
+        """Yield ``(sort_key, entry)`` in ascending sort-key order."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.sort_key, node.entry
+            node = node.right
+
+    def check_invariants(self) -> None:
+        """Verify BST order, heap order and size bookkeeping (tests only)."""
+        entries = list(self.items())
+        keys = [sk for sk, _ in entries]
+        if keys != sorted(keys):
+            raise AssertionError("BST order violated")
+        if len(entries) != len(self._position):
+            raise AssertionError("position map out of sync with tree")
+
+        def walk(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            for child in (node.left, node.right):
+                if child is not None and child.priority > node.priority:
+                    raise AssertionError("heap order violated")
+            size = 1 + walk(node.left) + walk(node.right)
+            if size != node.size:
+                raise AssertionError("size bookkeeping violated")
+            return size
+
+        walk(self._root)

@@ -1,0 +1,48 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+Keeping the exception types in one module lets callers catch a single
+base class (:class:`ReproError`) at system boundaries while the library
+raises precise subclasses internally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system was configured with invalid or inconsistent parameters."""
+
+
+class StorageError(ReproError):
+    """Base class for storage backend failures."""
+
+
+class KeyNotFoundError(StorageError):
+    """A requested storage id does not exist on the server."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class DuplicateKeyError(StorageError):
+    """A storage id was written twice, violating the write-once invariant."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"key already present: {key!r}")
+        self.key = key
+
+
+class IntegrityError(ReproError):
+    """Authenticated decryption failed: the ciphertext was tampered with."""
+
+
+class ProtocolError(ReproError):
+    """A protocol-level invariant was violated (e.g. malformed batch)."""
+
+
+class ClosedError(ReproError):
+    """An operation was issued against a closed datastore or proxy."""

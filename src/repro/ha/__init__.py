@@ -1,0 +1,31 @@
+"""Proxy high availability: checkpointing and primary-secondary failover.
+
+The paper assumes "a stateful entity assumed to be highly available
+(which can be ensured with techniques such as a primary-secondary
+replication or a quorum replication)" (§3.1) and lists fault tolerance
+as future work (§10).  This package supplies that substrate:
+
+* :mod:`repro.ha.checkpoint` — capture/restore the proxy's complete
+  trusted state (timestamp indexes, cache, RNG, mutation queue, secrets)
+  such that a restored proxy is behaviourally identical;
+* :mod:`repro.ha.replicated` — a primary-secondary wrapper that ships a
+  state snapshot to the standby at every batch boundary and fails over
+  without violating linearizability or any storage-id invariant.
+
+Crash granularity is the batch boundary: a batch is the proxy's atomic
+unit of work against the server (Algorithm 1 runs one batch at a time),
+so the standby's last snapshot is always mutually consistent with the
+server.  Mid-batch atomicity would be the server's transaction
+machinery, which is orthogonal here.
+"""
+
+from repro.ha.checkpoint import capture_proxy, restore_proxy
+from repro.ha.quorum import QuorumReplicatedProxy
+from repro.ha.replicated import HighlyAvailableProxy
+
+__all__ = [
+    "HighlyAvailableProxy",
+    "QuorumReplicatedProxy",
+    "capture_proxy",
+    "restore_proxy",
+]

@@ -1,0 +1,125 @@
+"""Quorum-replicated proxy: the paper's second availability option.
+
+§3.1: proxy availability "can be ensured with techniques such as a
+primary-secondary replication or a quorum replication".
+:class:`QuorumReplicatedProxy` generalizes
+:class:`~repro.ha.replicated.HighlyAvailableProxy` from one standby to a
+replica group: after each batch the state snapshot ships to all
+standbys, and the batch is only acknowledged once a write quorum
+(majority by default) holds it.  Any quorum member can be promoted;
+because snapshots are acknowledged synchronously at the quorum, a
+promotion never resumes from a state older than the last acknowledged
+batch — the property that protects the write-once/read-once id
+invariant across failures.
+
+Standby failures are simulated with :meth:`fail_standby`; the group
+refuses new batches once fewer than ``quorum - 1`` standbys remain (the
+primary itself counts toward the quorum).
+"""
+
+from __future__ import annotations
+
+from repro.core.batch import ClientRequest, ClientResponse
+from repro.core.proxy import WaffleProxy
+from repro.errors import ConfigurationError, ProtocolError
+from repro.ha.checkpoint import capture_proxy, restore_proxy
+from repro.storage.base import StorageBackend
+
+__all__ = ["QuorumReplicatedProxy"]
+
+
+class QuorumReplicatedProxy:
+    """A proxy replica group with synchronous quorum state shipping.
+
+    Parameters
+    ----------
+    primary:
+        The initialized working proxy.
+    standbys:
+        Number of standby replicas (total group = standbys + 1).
+    quorum:
+        Members (including the primary) that must hold a snapshot before
+        a batch acknowledges; defaults to a majority of the group.
+    """
+
+    def __init__(self, primary: WaffleProxy, standbys: int = 2,
+                 quorum: int | None = None) -> None:
+        if standbys < 1:
+            raise ConfigurationError("need at least one standby")
+        group_size = standbys + 1
+        self.quorum = quorum if quorum is not None else group_size // 2 + 1
+        if not 1 <= self.quorum <= group_size:
+            raise ConfigurationError(
+                f"quorum must lie in [1, {group_size}]"
+            )
+        self._primary = primary
+        blob = capture_proxy(primary)
+        #: standby id -> (alive, latest acknowledged snapshot)
+        self._standbys: dict[int, tuple[bool, bytes]] = {
+            index: (True, blob) for index in range(standbys)
+        }
+        self.failovers = 0
+        self.acknowledged_batches = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def proxy(self) -> WaffleProxy:
+        return self._primary
+
+    @property
+    def alive_standbys(self) -> int:
+        return sum(1 for alive, _ in self._standbys.values() if alive)
+
+    def fail_standby(self, standby_id: int) -> None:
+        """A standby machine dies (its snapshot is lost with it)."""
+        alive, blob = self._standbys[standby_id]
+        if not alive:
+            raise ProtocolError(f"standby {standby_id} already failed")
+        self._standbys[standby_id] = (False, b"")
+
+    def restore_standby(self, standby_id: int) -> None:
+        """A replacement standby joins and receives the current state."""
+        self._standbys[standby_id] = (True, capture_proxy(self._primary))
+
+    def _quorum_available(self) -> bool:
+        # The primary holds its own state: 1 + alive standbys.
+        return 1 + self.alive_standbys >= self.quorum
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def handle_batch(self, requests: list[ClientRequest],
+                     ) -> list[ClientResponse]:
+        """Execute one batch, then replicate to a quorum before acking."""
+        if not self._quorum_available():
+            raise ProtocolError(
+                f"quorum lost: {1 + self.alive_standbys} of "
+                f"{self.quorum} required members alive"
+            )
+        responses = self._primary.handle_batch(requests)
+        blob = capture_proxy(self._primary)
+        acks = 1  # the primary
+        for standby_id, (alive, _) in self._standbys.items():
+            if alive:
+                self._standbys[standby_id] = (True, blob)
+                acks += 1
+        if acks < self.quorum:  # pragma: no cover - guarded above
+            raise ProtocolError("quorum lost mid-replication")
+        self.acknowledged_batches += 1
+        return responses
+
+    # ------------------------------------------------------------------
+    # promotion
+    # ------------------------------------------------------------------
+    def fail_over(self, store: StorageBackend | None = None) -> WaffleProxy:
+        """The primary dies; promote any alive standby's snapshot."""
+        candidates = [blob for alive, blob in self._standbys.values()
+                      if alive]
+        if not candidates:
+            raise ProtocolError("no alive standby to promote")
+        target_store = store if store is not None else self._primary.store
+        self._primary = restore_proxy(candidates[0], target_store)
+        self.failovers += 1
+        return self._primary

@@ -1,0 +1,100 @@
+"""Primary-secondary replicated proxy.
+
+The primary executes every batch; at each batch boundary a full state
+snapshot ships to the standby (state shipping rather than command
+replay, because replaying Algorithm 1 would re-issue server I/O whose
+storage ids have already been consumed — each id is read-once).  On
+:meth:`fail_over`, the standby's snapshot becomes the new primary,
+attached to the same untrusted server, and processing continues with no
+client-visible difference: linearizability, the write-once/read-once id
+lifecycle and the α/β bounds all carry across (verified by the tests).
+
+The paper's availability assumption (§3.1) is exactly this shape; a
+quorum variant would ship the same blob to multiple standbys and is a
+policy layer above :class:`HighlyAvailableProxy`.
+"""
+
+from __future__ import annotations
+
+from repro.core.batch import ClientRequest, ClientResponse
+from repro.core.proxy import WaffleProxy
+from repro.errors import ConfigurationError, ProtocolError
+from repro.ha.checkpoint import capture_proxy, restore_proxy
+from repro.storage.base import StorageBackend
+
+__all__ = ["HighlyAvailableProxy"]
+
+
+class HighlyAvailableProxy:
+    """A proxy with a warm standby snapshot and batch-boundary shipping.
+
+    Parameters
+    ----------
+    primary:
+        The initialized proxy doing the work.
+    checkpoint_interval:
+        Ship a snapshot every this many batches (1 = synchronous
+        replication, the default; larger intervals trade recovery
+        currency for shipping cost, and :meth:`fail_over` then refuses
+        unless ``allow_stale`` acknowledges the gap).
+    """
+
+    def __init__(self, primary: WaffleProxy,
+                 checkpoint_interval: int = 1) -> None:
+        if checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint interval must be >= 1")
+        self._primary = primary
+        self._interval = checkpoint_interval
+        self._standby_blob: bytes = capture_proxy(primary)
+        self._batches_since_ship = 0
+        self.failovers = 0
+        self.snapshots_shipped = 1
+
+    @property
+    def proxy(self) -> WaffleProxy:
+        """The current primary (changes after fail-over)."""
+        return self._primary
+
+    @property
+    def standby_lag_batches(self) -> int:
+        """Batches executed since the standby's snapshot."""
+        return self._batches_since_ship
+
+    def handle_batch(self, requests: list[ClientRequest],
+                     ) -> list[ClientResponse]:
+        """Execute one batch on the primary, then replicate."""
+        responses = self._primary.handle_batch(requests)
+        self._batches_since_ship += 1
+        if self._batches_since_ship >= self._interval:
+            self._standby_blob = capture_proxy(self._primary)
+            self.snapshots_shipped += 1
+            self._batches_since_ship = 0
+        return responses
+
+    def fail_over(self, store: StorageBackend | None = None,
+                  allow_stale: bool = False) -> WaffleProxy:
+        """Promote the standby snapshot to primary.
+
+        Parameters
+        ----------
+        store:
+            Server handle for the new primary; defaults to the old
+            primary's (the server survived, the proxy did not).
+        allow_stale:
+            With ``checkpoint_interval > 1`` the snapshot may lag the
+            server by up to ``interval - 1`` batches; resuming from it
+            would re-derive already-consumed storage ids.  Synchronous
+            replication (interval 1, the default) never lags; a lagging
+            snapshot is refused unless the caller explicitly accepts
+            that the affected batches must be recovered by other means.
+        """
+        if self._batches_since_ship and not allow_stale:
+            raise ProtocolError(
+                f"standby lags primary by {self._batches_since_ship} "
+                "batches; pass allow_stale=True to promote anyway"
+            )
+        target_store = store if store is not None else self._primary.store
+        self._primary = restore_proxy(self._standby_blob, target_store)
+        self._batches_since_ship = 0
+        self.failovers += 1
+        return self._primary

@@ -1,0 +1,97 @@
+"""A StorageBackend that talks to a remote StorageServer.
+
+Drop-in: ``WaffleDatastore(config, items, store=RemoteStore(addr))``
+deploys the paper's topology with the storage server on another machine
+(or another process/thread — the tests use localhost).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Iterable, Sequence
+
+from repro.net.protocol import (
+    _WireError,
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+from repro.storage.base import StorageBackend
+
+__all__ = ["RemoteStore"]
+
+
+class RemoteStore(StorageBackend):
+    """Client-side stub speaking the framed storage protocol.
+
+    Thread-safe: one in-flight request at a time per connection, guarded
+    by a lock (matching the synchronous proxy's usage).
+    """
+
+    def __init__(self, address: tuple[str, int],
+                 timeout_s: float = 10.0) -> None:
+        self._sock = socket.create_connection(address, timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "RemoteStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _call(self, message):
+        with self._lock:
+            write_frame(self._sock, encode_message(message))
+            reply = decode_message(read_frame(self._sock))
+        if isinstance(reply, _WireError):
+            reply.raise_()
+        return reply
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bytes:
+        return self._call(["GET", key])
+
+    def put(self, key: str, value: bytes) -> None:
+        self._call(["SET", key, bytes(value)])
+
+    def delete(self, key: str) -> None:
+        self._call(["DEL", key])
+
+    def __contains__(self, key: str) -> bool:
+        return bool(self._call(["EXISTS", key]))
+
+    def __len__(self) -> int:
+        return self._call(["DBSIZE"])
+
+    def multi_get(self, keys: Sequence[str]) -> list[bytes]:
+        if not keys:
+            return []
+        commands = [["GET", key] for key in keys]
+        replies = self._call(["PIPELINE", *commands])
+        if isinstance(replies, _WireError):  # pragma: no cover
+            replies.raise_()
+        return replies
+
+    def multi_put(self, items: Iterable[tuple[str, bytes]]) -> None:
+        commands = [["SET", key, bytes(value)] for key, value in items]
+        if commands:
+            self._call(["PIPELINE", *commands])
+
+    def multi_delete(self, keys: Sequence[str]) -> None:
+        commands = [["DEL", key] for key in keys]
+        if commands:
+            self._call(["PIPELINE", *commands])

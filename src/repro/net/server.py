@@ -1,0 +1,130 @@
+"""Threaded TCP server hosting a storage backend.
+
+One thread per connection; each connection processes framed requests
+sequentially (matching Redis's per-connection ordering guarantee, which
+the pipelined batch semantics rely on).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.net.protocol import (
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+from repro.storage.base import StorageBackend
+from repro.storage.redis_sim import RedisSim
+
+__all__ = ["StorageServer"]
+
+
+class StorageServer:
+    """Serve a :class:`StorageBackend` over TCP.
+
+    Parameters
+    ----------
+    backend:
+        The store to expose; defaults to a fresh :class:`RedisSim`.
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    """
+
+    def __init__(self, backend: StorageBackend | None = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.backend = backend if backend is not None else RedisSim()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.address: tuple[str, int] = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "StorageServer":
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        for thread in self._threads:
+            thread.join(timeout=2)
+
+    def __enter__(self) -> "StorageServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    request = decode_message(read_frame(conn))
+                except (ConnectionError, OSError):
+                    return
+                reply = self._dispatch(request)
+                try:
+                    write_frame(conn, encode_message(reply))
+                except (ConnectionError, OSError):  # pragma: no cover
+                    return
+
+    def _dispatch(self, request):
+        if not isinstance(request, list) or not request:
+            return ValueError("malformed request")
+        name = request[0]
+        try:
+            # Commands execute under a lock: RedisSim is single-threaded
+            # just like Redis's command loop.
+            with self._lock:
+                if name == "PIPELINE":
+                    return [self._execute(tuple(cmd)) for cmd in request[1:]]
+                return self._execute(tuple(request))
+        except Exception as error:  # noqa: BLE001 - errors travel the wire
+            return error
+
+    def _execute(self, command: tuple):
+        if hasattr(self.backend, "execute"):
+            return self.backend.execute(command)
+        # Generic backends: translate the core commands.
+        name = command[0].upper()
+        if name == "GET":
+            return self.backend.get(command[1])
+        if name == "SET":
+            self.backend.put(command[1], command[2])
+            return b"OK"
+        if name == "DEL":
+            self.backend.delete(command[1])
+            return 1
+        if name == "EXISTS":
+            return int(command[1] in self.backend)
+        if name == "DBSIZE":
+            return len(self.backend)
+        raise ValueError(f"unknown command {name!r}")

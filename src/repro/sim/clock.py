@@ -1,0 +1,36 @@
+"""A simulated clock measured in seconds.
+
+All performance accounting advances this clock explicitly; nothing in the
+library reads wall-clock time, so experiments are deterministic and
+independent of the host machine.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock; returns the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def reset(self) -> None:
+        self._now = 0.0

@@ -1,0 +1,88 @@
+"""Throughput and latency measurement over simulated time."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LatencyRecorder", "ThroughputMeter"]
+
+
+class ThroughputMeter:
+    """Counts completed operations against a simulated-time window."""
+
+    __slots__ = ("_ops", "_start", "_end")
+
+    def __init__(self) -> None:
+        self._ops = 0
+        self._start: float | None = None
+        self._end: float | None = None
+
+    def record(self, n_ops: int, now: float) -> None:
+        """Record ``n_ops`` operations completed at simulated time ``now``."""
+        if n_ops < 0:
+            raise ValueError("operation count must be non-negative")
+        if self._start is None:
+            self._start = now
+        self._end = now
+        self._ops += n_ops
+
+    @property
+    def operations(self) -> int:
+        return self._ops
+
+    def ops_per_second(self) -> float:
+        """Average throughput over the recorded window."""
+        if self._start is None or self._end is None or self._end <= self._start:
+            return 0.0
+        return self._ops / (self._end - self._start)
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics of a latency distribution (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+
+class LatencyRecorder:
+    """Collects per-request latencies and reports percentiles."""
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, latency_s: float) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples.append(latency_s)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        if not ordered:
+            return 0.0
+        # Nearest-rank percentile: robust and assumption-free.
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> LatencySummary:
+        ordered = sorted(self._samples)
+        count = len(ordered)
+        mean = sum(ordered) / count if count else 0.0
+        return LatencySummary(
+            count=count,
+            mean=mean,
+            p50=self._percentile(ordered, 0.50),
+            p95=self._percentile(ordered, 0.95),
+            p99=self._percentile(ordered, 0.99),
+            max=ordered[-1] if ordered else 0.0,
+        )

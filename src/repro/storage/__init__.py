@@ -1,0 +1,25 @@
+"""Storage substrate: the untrusted server side of every system.
+
+The paper's testbed runs Redis on a separate machine.  This package
+provides a Redis-like in-process server (:class:`RedisSim`) behind a small
+backend interface, an access-recording wrapper that captures exactly what a
+passive persistent adversary observes, and a hash-sharded composite store
+used by the scalability ablations.
+"""
+
+from repro.storage.base import StorageBackend
+from repro.storage.memory import InMemoryStore
+from repro.storage.persistent import PersistentStore
+from repro.storage.recording import AccessRecord, RecordingStore
+from repro.storage.redis_sim import RedisSim
+from repro.storage.sharded import ShardedStore
+
+__all__ = [
+    "AccessRecord",
+    "InMemoryStore",
+    "PersistentStore",
+    "RecordingStore",
+    "RedisSim",
+    "ShardedStore",
+    "StorageBackend",
+]

@@ -1,0 +1,68 @@
+"""Abstract storage backend.
+
+Every datastore in this repository (Waffle, the insecure baseline, Pancake,
+PathORAM, TaoStore) talks to the server through this interface, so the
+recording wrapper and the cost model can be layered under any of them.
+
+Semantics are deliberately strict — they encode the invariants the security
+analysis relies on:
+
+* :meth:`put` on an existing key raises :class:`DuplicateKeyError` when the
+  backend is created with ``write_once=True`` (Waffle writes every storage
+  id at most once);
+* :meth:`get`/:meth:`delete` on a missing key raise
+  :class:`KeyNotFoundError` — a silent miss would mask protocol bugs.
+
+Backends that model plaintext stores (the insecure baseline, Pancake's
+replicas) use ``write_once=False`` and overwrite freely via :meth:`put`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+__all__ = ["StorageBackend"]
+
+
+class StorageBackend(ABC):
+    """Key-value server interface shared by all systems."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Return the value stored under ``key``."""
+
+    @abstractmethod
+    def put(self, key: str, value: bytes) -> None:
+        """Store ``value`` under ``key``."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key``."""
+
+    @abstractmethod
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` currently exists."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored keys."""
+
+    # ------------------------------------------------------------------
+    # Batched operations.  Defaults loop over the single-key primitives;
+    # RedisSim overrides them with pipelined implementations so the cost
+    # model can charge one round trip per batch.
+    # ------------------------------------------------------------------
+    def multi_get(self, keys: Sequence[str]) -> list[bytes]:
+        """Return values for ``keys`` in order."""
+        return [self.get(key) for key in keys]
+
+    def multi_put(self, items: Iterable[tuple[str, bytes]]) -> None:
+        """Store every ``(key, value)`` pair."""
+        for key, value in items:
+            self.put(key, value)
+
+    def multi_delete(self, keys: Sequence[str]) -> None:
+        """Delete every key in ``keys``."""
+        for key in keys:
+            self.delete(key)

@@ -1,0 +1,173 @@
+"""Durable storage backend: snapshot + append-only log, like Redis.
+
+The paper's server is Redis, whose durability story is RDB snapshots
+plus an append-only file.  This backend reproduces that shape so the
+*server* can crash and recover without violating Waffle's invariants
+(the proxy's write-once/read-once ids must survive a server restart —
+a recovered server holding stale state would hand out already-consumed
+ids, which the recovery tests check cannot happen):
+
+* every mutation (SET/DEL) appends a framed record to the AOF;
+* :meth:`snapshot` compacts: writes the full dict and truncates the log;
+* :meth:`recover` loads snapshot + replays the log tail.
+
+The file format is length-prefixed binary (no pickle — the server is in
+the *untrusted* domain, so its files must not be able to execute code in
+whoever loads them).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
+from repro.storage.base import StorageBackend
+
+__all__ = ["PersistentStore"]
+
+_SET = 1
+_DEL = 2
+
+
+def _frame(op: int, key: bytes, value: bytes = b"") -> bytes:
+    return struct.pack(">BII", op, len(key), len(value)) + key + value
+
+
+class PersistentStore(StorageBackend):
+    """Dict store with snapshot + append-only-log durability.
+
+    Parameters
+    ----------
+    directory:
+        Where ``snapshot.db`` and ``appendonly.log`` live.
+    write_once:
+        Waffle's server mode (duplicate SET rejected).
+    fsync:
+        Call ``os.fsync`` after every append (slow, crash-proof) — off by
+        default, as in Redis's ``everysec``-ish middle ground.
+    """
+
+    def __init__(self, directory: str | Path, write_once: bool = False,
+                 fsync: bool = False) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._snapshot_path = self._dir / "snapshot.db"
+        self._log_path = self._dir / "appendonly.log"
+        self._write_once = write_once
+        self._fsync = fsync
+        self._data: dict[str, bytes] = {}
+        self.recover()
+        self._log = open(self._log_path, "ab")
+
+    # ------------------------------------------------------------------
+    # durability machinery
+    # ------------------------------------------------------------------
+    def _append(self, op: int, key: str, value: bytes = b"") -> None:
+        self._log.write(_frame(op, key.encode("utf-8"), value))
+        self._log.flush()
+        if self._fsync:
+            os.fsync(self._log.fileno())
+
+    def snapshot(self) -> None:
+        """Write a full snapshot and truncate the append-only log."""
+        tmp = self._snapshot_path.with_suffix(".tmp")
+        with open(tmp, "wb") as out:
+            out.write(struct.pack(">I", len(self._data)))
+            for key, value in self._data.items():
+                kb = key.encode("utf-8")
+                out.write(struct.pack(">II", len(kb), len(value)))
+                out.write(kb)
+                out.write(value)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, self._snapshot_path)
+        self._log.close()
+        self._log = open(self._log_path, "wb")
+
+    def recover(self) -> None:
+        """Rebuild state from snapshot + log (also runs at construction)."""
+        self._data = {}
+        if self._snapshot_path.exists():
+            with open(self._snapshot_path, "rb") as inp:
+                raw = inp.read()
+            cursor = 0
+            (count,) = struct.unpack_from(">I", raw, cursor)
+            cursor += 4
+            for _ in range(count):
+                klen, vlen = struct.unpack_from(">II", raw, cursor)
+                cursor += 8
+                key = raw[cursor:cursor + klen].decode("utf-8")
+                cursor += klen
+                self._data[key] = raw[cursor:cursor + vlen]
+                cursor += vlen
+        if self._log_path.exists():
+            with open(self._log_path, "rb") as inp:
+                raw = inp.read()
+            cursor = 0
+            while cursor < len(raw):
+                if cursor + 9 > len(raw):
+                    break  # torn tail record: discard (crash mid-append)
+                op, klen, vlen = struct.unpack_from(">BII", raw, cursor)
+                if cursor + 9 + klen + vlen > len(raw):
+                    break  # torn tail record
+                cursor += 9
+                key = raw[cursor:cursor + klen].decode("utf-8")
+                cursor += klen
+                value = raw[cursor:cursor + vlen]
+                cursor += vlen
+                if op == _SET:
+                    self._data[key] = value
+                elif op == _DEL:
+                    self._data.pop(key, None)
+                else:
+                    raise StorageError(f"corrupt log record op={op}")
+
+    def close(self) -> None:
+        self._log.close()
+
+    def crash(self) -> None:
+        """Simulate an abrupt server death (no snapshot, log as-is)."""
+        self._log.close()
+        self._data = {}
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bytes:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise KeyNotFoundError(key) from None
+
+    def put(self, key: str, value: bytes) -> None:
+        if self._write_once and key in self._data:
+            raise DuplicateKeyError(key)
+        self._data[key] = bytes(value)
+        self._append(_SET, key, bytes(value))
+
+    def delete(self, key: str) -> None:
+        try:
+            del self._data[key]
+        except KeyError:
+            raise KeyNotFoundError(key) from None
+        self._append(_DEL, key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def multi_get(self, keys: Sequence[str]) -> list[bytes]:
+        return [self.get(key) for key in keys]
+
+    def multi_put(self, items: Iterable[tuple[str, bytes]]) -> None:
+        for key, value in items:
+            self.put(key, value)
+
+    def multi_delete(self, keys: Sequence[str]) -> None:
+        for key in keys:
+            self.delete(key)

@@ -1,0 +1,107 @@
+"""The adversary's viewpoint: a storage wrapper that records every access.
+
+Waffle's threat model (§3.2) is a passive persistent adversary who observes
+every read/write/delete of every (encrypted) storage id but cannot inject
+queries.  :class:`RecordingStore` wraps any backend and captures exactly
+that view — the sequence of ``(operation, storage_id, round)`` tuples —
+which the analysis package replays to measure α/β uniformity (Definition 1)
+and to mount inference attacks.
+
+Rounds: Waffle's α/β bounds are stated in batched server accesses (§5.1:
+"if the proxy accesses objects in batches, α, β, i and j correspond to the
+batched accesses").  The proxy advances the recorder's round counter once
+per read-batch/write-batch pair via :meth:`next_round`; unbatched systems
+(the insecure baseline, PathORAM per-request accesses) advance it per
+operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.storage.base import StorageBackend
+
+__all__ = ["AccessRecord", "RecordingStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessRecord:
+    """One adversary-observable server access."""
+
+    op: str  # "read" | "write" | "delete"
+    storage_id: str
+    round: int
+    #: Position of this access in the global observed sequence.
+    seq: int
+
+
+class RecordingStore(StorageBackend):
+    """Pass-through backend that logs the adversary-visible trace."""
+
+    __slots__ = ("_inner", "records", "_round", "_seq", "enabled")
+
+    def __init__(self, inner: StorageBackend) -> None:
+        self._inner = inner
+        self.records: list[AccessRecord] = []
+        self._round = 0
+        self._seq = 0
+        #: Recording can be switched off during initialization bulk-loads
+        #: when an experiment only studies the steady state.
+        self.enabled = True
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def next_round(self) -> int:
+        """Advance the batch-round counter; returns the new round."""
+        self._round += 1
+        return self._round
+
+    def _record(self, op: str, storage_id: str) -> None:
+        if not self.enabled:
+            return
+        self.records.append(AccessRecord(op, storage_id, self._round, self._seq))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface (every path records before delegating)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bytes:
+        self._record("read", key)
+        return self._inner.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self._record("write", key)
+        self._inner.put(key, value)
+
+    def delete(self, key: str) -> None:
+        self._record("delete", key)
+        self._inner.delete(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._inner
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def multi_get(self, keys: Sequence[str]) -> list[bytes]:
+        for key in keys:
+            self._record("read", key)
+        return self._inner.multi_get(keys)
+
+    def multi_put(self, items: Iterable[tuple[str, bytes]]) -> None:
+        items = list(items)
+        for key, _ in items:
+            self._record("write", key)
+        self._inner.multi_put(items)
+
+    def multi_delete(self, keys: Sequence[str]) -> None:
+        for key in keys:
+            self._record("delete", key)
+        self._inner.multi_delete(keys)
+
+    def clear_records(self) -> None:
+        """Drop the trace collected so far (keeps round/seq counters)."""
+        self.records = []

@@ -1,0 +1,159 @@
+"""A Redis-like in-process key-value server.
+
+The paper's backend is Redis (§8).  ``RedisSim`` reproduces the slice of
+Redis the systems use — string GET/SET/DEL/EXISTS/DBSIZE plus MGET/MSET and
+command pipelines — behind a textual command interface, so the proxies in
+this repository interact with storage the way the paper's proxies interact
+with Redis: by issuing commands, optionally pipelined into one round trip.
+
+Two layers are exposed:
+
+* :meth:`execute` — a command dispatcher (``("SET", key, value)`` etc.),
+  the "wire protocol" level, used by :class:`Pipeline`;
+* the :class:`~repro.storage.base.StorageBackend` methods — typed
+  convenience wrappers over :meth:`execute`.
+
+Unlike real Redis, ``GET`` on a missing key raises instead of returning
+nil: every system in this repository treats a miss as a protocol bug and
+the strictness has caught several during development.  (Waffle additionally
+runs the store in ``write_once`` mode.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, ProtocolError
+from repro.storage.base import StorageBackend
+
+__all__ = ["Pipeline", "RedisSim"]
+
+
+class RedisSim(StorageBackend):
+    """In-process Redis stand-in with command dispatch and pipelines.
+
+    Parameters
+    ----------
+    write_once:
+        Reject ``SET`` on existing keys (Waffle's server mode).
+    """
+
+    __slots__ = ("_data", "_write_once", "command_count")
+
+    def __init__(self, write_once: bool = False) -> None:
+        self._data: dict[str, bytes] = {}
+        self._write_once = write_once
+        #: Total commands executed, for tests and cost accounting.
+        self.command_count = 0
+
+    # ------------------------------------------------------------------
+    # command interface
+    # ------------------------------------------------------------------
+    def execute(self, command: tuple):
+        """Execute one command tuple and return its reply.
+
+        Supported commands: ``GET key``, ``SET key value``, ``DEL key``,
+        ``EXISTS key``, ``DBSIZE``, ``MGET key...``, ``MSET key value ...``.
+        """
+        self.command_count += 1
+        name = command[0].upper()
+        if name == "GET":
+            (key,) = command[1:]
+            try:
+                return self._data[key]
+            except KeyError:
+                raise KeyNotFoundError(key) from None
+        if name == "SET":
+            key, value = command[1:]
+            if self._write_once and key in self._data:
+                raise DuplicateKeyError(key)
+            self._data[key] = bytes(value)
+            return b"OK"
+        if name == "DEL":
+            (key,) = command[1:]
+            try:
+                del self._data[key]
+            except KeyError:
+                raise KeyNotFoundError(key) from None
+            return 1
+        if name == "EXISTS":
+            (key,) = command[1:]
+            return int(key in self._data)
+        if name == "DBSIZE":
+            return len(self._data)
+        if name == "MGET":
+            return [self.execute(("GET", key)) for key in command[1:]]
+        if name == "MSET":
+            args = command[1:]
+            if len(args) % 2:
+                raise ProtocolError("MSET requires key/value pairs")
+            for i in range(0, len(args), 2):
+                self.execute(("SET", args[i], args[i + 1]))
+            return b"OK"
+        raise ProtocolError(f"unknown command: {name}")
+
+    def pipeline(self) -> "Pipeline":
+        """Start a command pipeline (one logical round trip)."""
+        return Pipeline(self)
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bytes:
+        return self.execute(("GET", key))
+
+    def put(self, key: str, value: bytes) -> None:
+        self.execute(("SET", key, value))
+
+    def delete(self, key: str) -> None:
+        self.execute(("DEL", key))
+
+    def __contains__(self, key: str) -> bool:
+        return bool(self.execute(("EXISTS", key)))
+
+    def __len__(self) -> int:
+        return self.execute(("DBSIZE",))
+
+    def multi_get(self, keys: Sequence[str]) -> list[bytes]:
+        pipe = self.pipeline()
+        for key in keys:
+            pipe.enqueue(("GET", key))
+        return pipe.flush()
+
+    def multi_put(self, items: Iterable[tuple[str, bytes]]) -> None:
+        pipe = self.pipeline()
+        for key, value in items:
+            pipe.enqueue(("SET", key, value))
+        pipe.flush()
+
+    def multi_delete(self, keys: Sequence[str]) -> None:
+        pipe = self.pipeline()
+        for key in keys:
+            pipe.enqueue(("DEL", key))
+        pipe.flush()
+
+
+class Pipeline:
+    """Buffers commands and executes them in one flush.
+
+    Mirrors redis-py's pipeline object: commands queue locally and
+    :meth:`flush` returns the list of replies in order.
+    """
+
+    __slots__ = ("_server", "_commands")
+
+    def __init__(self, server: RedisSim) -> None:
+        self._server = server
+        self._commands: list[tuple] = []
+
+    def enqueue(self, command: tuple) -> "Pipeline":
+        self._commands.append(command)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def flush(self) -> list:
+        replies = [self._server.execute(cmd) for cmd in self._commands]
+        self._commands = []
+        return replies

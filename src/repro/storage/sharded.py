@@ -1,0 +1,82 @@
+"""Hash-sharded composite store.
+
+The paper lists scalability as future work (§10); the scalability ablation
+in this repository runs Waffle against a sharded server to show the proxy
+protocol is oblivious to how the server distributes data.  Keys are
+assigned to shards by a stable hash of the storage id — which, for Waffle,
+is already a PRF output, so shard placement leaks nothing beyond what the
+id itself leaks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.storage.base import StorageBackend
+
+__all__ = ["ShardedStore"]
+
+
+class ShardedStore(StorageBackend):
+    """Routes operations to one of several backends by key hash."""
+
+    __slots__ = ("_shards",)
+
+    def __init__(self, shards: Sequence[StorageBackend]) -> None:
+        if not shards:
+            raise ConfigurationError("ShardedStore requires at least one shard")
+        self._shards = list(shards)
+
+    def shard_index(self, key: str) -> int:
+        digest = hashlib.blake2s(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % len(self._shards)
+
+    def _shard(self, key: str) -> StorageBackend:
+        return self._shards[self.shard_index(key)]
+
+    def get(self, key: str) -> bytes:
+        return self._shard(key).get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self._shard(key).put(key, value)
+
+    def delete(self, key: str) -> None:
+        self._shard(key).delete(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._shard(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def multi_get(self, keys: Sequence[str]) -> list[bytes]:
+        # Group by shard to model per-shard pipelines, then restore order.
+        by_shard: dict[int, list[tuple[int, str]]] = {}
+        for pos, key in enumerate(keys):
+            by_shard.setdefault(self.shard_index(key), []).append((pos, key))
+        out: list[bytes | None] = [None] * len(keys)
+        for index, entries in by_shard.items():
+            values = self._shards[index].multi_get([key for _, key in entries])
+            for (pos, _), value in zip(entries, values):
+                out[pos] = value
+        return out  # type: ignore[return-value]
+
+    def multi_put(self, items: Iterable[tuple[str, bytes]]) -> None:
+        by_shard: dict[int, list[tuple[str, bytes]]] = {}
+        for key, value in items:
+            by_shard.setdefault(self.shard_index(key), []).append((key, value))
+        for index, entries in by_shard.items():
+            self._shards[index].multi_put(entries)
+
+    def multi_delete(self, keys: Sequence[str]) -> None:
+        by_shard: dict[int, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self.shard_index(key), []).append(key)
+        for index, entries in by_shard.items():
+            self._shards[index].multi_delete(entries)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WaffleConfig
+from repro.core.datastore import WaffleDatastore
+from repro.crypto.keys import KeyChain
+from repro.workloads.ycsb import key_name
+
+
+def make_items(n: int, value: bytes = b"value-%d") -> dict[str, bytes]:
+    """N distinct key-value pairs using the canonical key naming."""
+    return {key_name(i): value % i for i in range(n)}
+
+
+@pytest.fixture
+def small_config() -> WaffleConfig:
+    """A tiny but fully featured configuration (N=200)."""
+    return WaffleConfig(n=200, b=20, r=8, f_d=4, d=50, c=30,
+                        value_size=64, seed=101)
+
+
+@pytest.fixture
+def small_items() -> dict[str, bytes]:
+    return make_items(200)
+
+
+@pytest.fixture
+def small_datastore(small_config, small_items) -> WaffleDatastore:
+    return WaffleDatastore(small_config, small_items,
+                           keychain=KeyChain.from_seed(7), log_ids=True)

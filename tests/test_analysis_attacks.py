@@ -1,0 +1,97 @@
+"""Tests for the inference attacks: frequency analysis and co-occurrence.
+
+These tests double as the §8.3.2 security claims in miniature:
+deterministic/static-id systems fall to the attacks, Waffle does not.
+"""
+
+import pytest
+
+from repro.analysis.attacks import (
+    cooccurrence_attack,
+    frequency_analysis_attack,
+    observed_read_sequence,
+)
+from repro.bench.experiments import (
+    attack_correlated,
+    frequency_attack_comparison,
+)
+from repro.storage.recording import AccessRecord, RecordingStore
+from repro.storage.redis_sim import RedisSim
+
+
+def records_from_reads(sids) -> list[AccessRecord]:
+    return [AccessRecord("read", sid, i, i) for i, sid in enumerate(sids)]
+
+
+class TestObservedSequence:
+    def test_filters_reads(self):
+        records = [
+            AccessRecord("write", "a", 0, 0),
+            AccessRecord("read", "b", 0, 1),
+            AccessRecord("delete", "b", 0, 2),
+        ]
+        assert observed_read_sequence(records) == ["b"]
+
+
+class TestFrequencyAnalysis:
+    def test_recovers_deterministic_store(self):
+        """Rank matching recovers a skewed, static-id store."""
+        import random
+        rng = random.Random(1)
+        keys = [f"k{i}" for i in range(20)]
+        weights = [2.0 ** -i for i in range(20)]
+        sids = {key: f"enc-{key}" for key in keys}
+        reads = [sids[rng.choices(keys, weights=weights)[0]]
+                 for _ in range(20_000)]
+        auxiliary = {key: weight for key, weight in zip(keys, weights)}
+        truth = {sid: key for key, sid in sids.items()}
+        result = frequency_analysis_attack(records_from_reads(reads),
+                                           auxiliary, truth)
+        assert result.accuracy > 0.5
+
+    def test_uniform_frequencies_defeat_it(self):
+        import random
+        keys = [f"k{i}" for i in range(20)]
+        reads = [f"enc-{key}" for _ in range(200) for key in keys]
+        random.Random(2).shuffle(reads)
+        auxiliary = {key: 2.0 ** -i for i, key in enumerate(keys)}
+        truth = {f"enc-{key}": key for key in keys}
+        result = frequency_analysis_attack(records_from_reads(reads),
+                                           auxiliary, truth)
+        assert result.accuracy < 0.3
+
+    def test_end_to_end_comparison(self):
+        """Deterministic store falls, Waffle holds (the §2 narrative).
+        The hottest keys are where frequency analysis bites; the Zipf
+        tail is statistically ambiguous, so overall accuracy is modest
+        even for the vulnerable store."""
+        outcome = frequency_attack_comparison(n=64, requests=6000, seed=3)
+        assert outcome["deterministic_top10"] >= 0.7
+        assert outcome["deterministic_accuracy"] > 5 * outcome["chance"]
+        assert outcome["waffle_accuracy"] <= 0.05
+        assert outcome["waffle_top10"] <= 0.2
+
+
+class TestCooccurrenceAttack:
+    def test_end_to_end_pancake_vs_waffle(self):
+        """The paper's §8.3.2 claim, in miniature: correlated queries let
+        the known-query attack recover far more than chance against
+        Pancake's static ids, while against Waffle's rotating ids it
+        stays near chance."""
+        outcome = attack_correlated(n=40, requests=40_000, seed=5)
+        chance = outcome["chance"]
+        assert outcome["pancake_accuracy"] > 6 * chance
+        assert outcome["waffle_accuracy"] < 3 * chance
+        assert outcome["pancake_accuracy"] > 3 * outcome["waffle_accuracy"]
+
+    def test_no_repeating_ids_no_signal(self):
+        """Each id occurring once (Waffle's guarantee) yields zero
+        attack targets under the min-occurrence filter."""
+        import numpy as np
+        reads = [f"unique-{i}" for i in range(500)]
+        transition = np.full((5, 5), 0.2)
+        result = cooccurrence_attack(records_from_reads(reads), transition,
+                                     [f"k{i}" for i in range(5)], {},
+                                     seed=1, iterations=100)
+        assert result.targets == 0
+        assert result.accuracy == 0.0

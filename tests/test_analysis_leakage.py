@@ -1,0 +1,98 @@
+"""Tests for the leakage-quantification metrics."""
+
+import random
+
+import pytest
+
+from repro.analysis.leakage import (
+    access_count_entropy,
+    chi_square_uniformity,
+    frequency_kl_divergence,
+    leakage_summary,
+    round_load_profile,
+)
+from repro.bench.harness import run_waffle
+from repro.core.config import WaffleConfig
+from repro.sim.costmodel import CostModel
+from repro.storage.recording import AccessRecord
+from repro.workloads.ycsb import workload_c
+
+
+def reads(sids, rounds=None) -> list[AccessRecord]:
+    rounds = rounds if rounds is not None else [0] * len(sids)
+    return [AccessRecord("read", sid, rnd, i)
+            for i, (sid, rnd) in enumerate(zip(sids, rounds))]
+
+
+class TestMetricsOnSyntheticTraces:
+    def test_uniform_counts_maximum_entropy(self):
+        records = reads([f"id{i}" for i in range(50)])
+        assert access_count_entropy(records) == pytest.approx(1.0)
+        assert frequency_kl_divergence(records) == pytest.approx(0.0)
+
+    def test_skewed_counts_lower_entropy(self):
+        skewed = reads(["hot"] * 90 + [f"cold{i}" for i in range(10)])
+        assert access_count_entropy(skewed) < 0.8
+        assert frequency_kl_divergence(skewed) > 1.0
+
+    def test_chi_square_rejects_skew_accepts_uniform(self):
+        uniform = reads([f"id{i % 20}" for i in range(2000)])
+        _, p_uniform = chi_square_uniformity(uniform)
+        rng = random.Random(1)
+        skewed_ids = ["hot" if rng.random() < 0.4 else f"c{rng.randrange(19)}"
+                      for _ in range(2000)]
+        _, p_skewed = chi_square_uniformity(reads(skewed_ids))
+        assert p_uniform > 0.9
+        assert p_skewed < 0.01
+
+    def test_round_load_profile_constant_rounds(self):
+        sids = [f"id{i}" for i in range(40)]
+        rounds = [i // 10 for i in range(40)]  # 10 reads per round
+        profile = round_load_profile(reads(sids, rounds))
+        assert profile["read_mean"] == pytest.approx(10.0)
+        assert profile["read_cv"] == pytest.approx(0.0)
+
+    def test_degenerate_traces(self):
+        assert access_count_entropy([]) == 1.0
+        assert frequency_kl_divergence([]) == 0.0
+        assert chi_square_uniformity([]) == (0.0, 1.0)
+
+
+class TestMetricsOnWaffle:
+    @pytest.fixture(scope="class")
+    def waffle_records(self):
+        n = 1024
+        config = WaffleConfig.paper_defaults(n=n, seed=5)
+        workload = workload_c(n, seed=6, value_size=256)
+        items = dict(workload.initial_records())
+        trace = workload.trace(config.r * 150)
+        _, datastore = run_waffle(config, items, trace, CostModel(),
+                                  record=True)
+        return datastore.recorder.records
+
+    def test_waffle_is_maximally_uniform(self, waffle_records):
+        summary = leakage_summary(waffle_records, steady_state_from_round=1)
+        # Every id read exactly once -> flat profile on every metric.
+        assert summary.normalized_entropy == pytest.approx(1.0)
+        assert summary.kl_divergence_bits == pytest.approx(0.0, abs=1e-9)
+        assert summary.chi_square_p == pytest.approx(1.0)
+        # Constant B reads and B writes per round.
+        assert summary.read_cv == pytest.approx(0.0, abs=1e-9)
+        assert summary.write_cv == pytest.approx(0.0, abs=1e-9)
+
+    def test_insecure_store_leaks_in_contrast(self):
+        from repro.storage.recording import RecordingStore
+        from repro.storage.redis_sim import RedisSim
+        from repro.baselines.insecure import InsecureStore
+
+        n = 1024
+        workload = workload_c(n, seed=6, value_size=64)
+        items = dict(workload.initial_records())
+        recorder = RecordingStore(RedisSim())
+        store = InsecureStore(recorder, items)
+        for request in workload.trace(6000):
+            store.execute(request)
+        summary = leakage_summary(recorder.records)
+        assert summary.normalized_entropy < 0.95
+        assert summary.kl_divergence_bits > 0.3
+        assert summary.chi_square_p < 0.01

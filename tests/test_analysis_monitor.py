@@ -1,0 +1,95 @@
+"""Tests for the online alpha monitor."""
+
+import pytest
+
+from repro.analysis.monitor import AlphaMonitor
+from repro.errors import ConfigurationError
+
+
+class TestAlphaMonitor:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AlphaMonitor(alpha_budget=-1)
+        with pytest.raises(ConfigurationError):
+            AlphaMonitor(alpha_budget=5, window_rounds=0)
+
+    def test_alpha_computed_per_id(self):
+        monitor = AlphaMonitor(alpha_budget=10, window_rounds=100)
+        monitor.observe_write("a", 3)
+        assert monitor.observe_read("a", 7) == 3
+
+    def test_unknown_read_ignored(self):
+        monitor = AlphaMonitor(alpha_budget=10)
+        assert monitor.observe_read("ghost", 1) is None
+
+    def test_windows_close_and_report(self):
+        monitor = AlphaMonitor(alpha_budget=10, window_rounds=10)
+        monitor.observe_write("a", 1)
+        monitor.observe_read("a", 4)      # alpha 2
+        monitor.observe_write("b", 12)    # forces window [0..9] closed
+        reports = monitor.reports
+        assert len(reports) == 1
+        assert reports[0].max_alpha == 2
+        assert reports[0].samples == 1
+        assert not reports[0].budget_breached
+
+    def test_budget_breach_on_large_alpha(self):
+        monitor = AlphaMonitor(alpha_budget=3, window_rounds=10)
+        monitor.observe_write("a", 0)
+        monitor.observe_read("a", 9)      # alpha 8 > 3
+        monitor.observe_write("x", 20)
+        assert monitor.total_breaches >= 1
+        assert monitor.reports[0].budget_breached
+
+    def test_breach_on_aging_outstanding_id(self):
+        """An id written but never read past the budget is a breach even
+        though no alpha sample exists (the low-security failure mode)."""
+        monitor = AlphaMonitor(alpha_budget=5, window_rounds=10)
+        monitor.observe_write("stuck", 0)
+        monitor.observe_write("x", 25)    # closes windows; 'stuck' ages
+        assert any(r.budget_breached and r.oldest_outstanding_age > 5
+                   for r in monitor.reports)
+
+    def test_rounds_must_be_monotone(self):
+        monitor = AlphaMonitor(alpha_budget=5)
+        monitor.observe_write("a", 10)
+        with pytest.raises(ConfigurationError):
+            monitor.observe_write("b", 5)
+
+    def test_feed_records_matches_offline_measurement(self):
+        """The online monitor agrees with the offline measure_alpha."""
+        import random
+        from repro.analysis.uniformity import measure_alpha
+        from repro.core.batch import ClientRequest
+        from repro.core.config import WaffleConfig
+        from repro.core.datastore import WaffleDatastore
+        from repro.crypto.keys import KeyChain
+        from repro.workloads.trace import Operation
+        from tests.conftest import make_items
+
+        n = 150
+        config = WaffleConfig(n=n, b=16, r=6, f_d=4, d=50, c=20,
+                              value_size=64, seed=41)
+        datastore = WaffleDatastore(config, make_items(n),
+                                    keychain=KeyChain.from_seed(42))
+        rng = random.Random(43)
+        for _ in range(80):
+            datastore.execute_batch([
+                ClientRequest(op=Operation.READ,
+                              key=f"user{rng.randrange(n):08d}")
+                for _ in range(config.r)
+            ])
+        records = datastore.recorder.records
+        monitor = AlphaMonitor(alpha_budget=config.alpha_bound_effective(),
+                               window_rounds=20)
+        monitor.feed_records(records)
+        offline = measure_alpha(records)
+        online_max = max((r.max_alpha for r in monitor.reports
+                          if r.max_alpha is not None), default=None)
+        # The monitor's windows cover all closed windows; the offline
+        # measurement also sees the final partial window, so online max
+        # is a lower bound that must not exceed the offline max.
+        assert online_max is not None
+        assert online_max <= offline.max_alpha
+        assert monitor.total_breaches == 0
+        assert monitor.outstanding_ids == offline.unread_ids

@@ -1,0 +1,78 @@
+"""Tests for the security audit report generator."""
+
+import random
+
+import pytest
+
+from repro.analysis.report import security_audit
+from repro.core.batch import ClientRequest
+from repro.core.config import WaffleConfig
+from repro.core.datastore import WaffleDatastore
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError
+from repro.workloads.trace import Operation
+from tests.conftest import make_items
+
+
+def run_deployment(rounds=60, record=True, log_ids=True):
+    n = 200
+    config = WaffleConfig(n=n, b=20, r=8, f_d=4, d=60, c=30,
+                          value_size=64, seed=5)
+    datastore = WaffleDatastore(config, make_items(n), record=record,
+                                keychain=KeyChain.from_seed(6),
+                                log_ids=log_ids)
+    rng = random.Random(7)
+    for _ in range(rounds):
+        datastore.execute_batch([
+            ClientRequest(op=Operation.READ,
+                          key=f"user{rng.randrange(n):08d}")
+            for _ in range(config.r)
+        ])
+    return datastore
+
+
+class TestSecurityAudit:
+    def test_clean_deployment_passes(self):
+        result = security_audit(run_deployment())
+        assert result.passed
+        assert "**Verdict: PASS**" in result.markdown
+        assert "α,β-uniformity" in result.markdown
+        assert "normalized access entropy" in result.markdown
+
+    def test_report_contains_configuration(self):
+        datastore = run_deployment()
+        result = security_audit(datastore)
+        assert f"N={datastore.config.n}" in result.markdown
+        assert "bandwidth overhead" in result.markdown
+
+    def test_recorder_required(self):
+        datastore = run_deployment(record=False)
+        with pytest.raises(ConfigurationError):
+            security_audit(datastore)
+
+    def test_tampered_trace_fails_invariants(self):
+        datastore = run_deployment(rounds=10)
+        # Forge an adversary-visible double read of one id.
+        records = datastore.recorder.records
+        first_read = next(r for r in records if r.op == "read")
+        from repro.storage.recording import AccessRecord
+        records.append(AccessRecord("read", first_read.storage_id,
+                                    datastore.recorder.round, 10**9))
+        result = security_audit(datastore)
+        assert not result.invariants_ok
+        assert not result.passed
+        assert "VIOLATION" in result.markdown
+
+    def test_audit_without_id_log_skips_beta(self):
+        datastore = run_deployment(rounds=20, log_ids=False)
+        result = security_audit(datastore)
+        assert result.beta_ok  # vacuous
+        assert "log_ids=True" in result.markdown
+
+
+class TestCliAudit:
+    def test_cli_audit_passes(self, capsys):
+        from repro.cli import main
+        assert main(["audit", "--n", "512", "--rounds", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Verdict: PASS" in out

@@ -1,0 +1,175 @@
+"""Tests for α/β measurement and the storage-id lifecycle checker."""
+
+import pytest
+
+from repro.analysis.uniformity import (
+    UniformityReport,
+    full_report,
+    measure_alpha,
+    measure_beta,
+    verify_storage_invariants,
+)
+from repro.errors import ProtocolError
+from repro.storage.recording import AccessRecord
+
+
+def trace(*entries) -> list[AccessRecord]:
+    """entries: (op, storage_id, round)."""
+    return [AccessRecord(op, sid, rnd, seq)
+            for seq, (op, sid, rnd) in enumerate(entries)]
+
+
+class TestInvariantChecker:
+    def test_valid_lifecycle_passes(self):
+        verify_storage_invariants(trace(
+            ("write", "a", 0), ("read", "a", 1), ("delete", "a", 1),
+        ))
+
+    def test_double_write_rejected(self):
+        with pytest.raises(ProtocolError):
+            verify_storage_invariants(trace(
+                ("write", "a", 0), ("write", "a", 1),
+            ))
+
+    def test_read_before_write_rejected(self):
+        with pytest.raises(ProtocolError):
+            verify_storage_invariants(trace(("read", "a", 0)))
+
+    def test_double_read_rejected(self):
+        with pytest.raises(ProtocolError):
+            verify_storage_invariants(trace(
+                ("write", "a", 0), ("read", "a", 1), ("read", "a", 2),
+            ))
+
+    def test_delete_before_read_rejected(self):
+        with pytest.raises(ProtocolError):
+            verify_storage_invariants(trace(
+                ("write", "a", 0), ("delete", "a", 1),
+            ))
+
+
+class TestAlphaMeasurement:
+    def test_alpha_counts_rounds_strictly_between(self):
+        report = measure_alpha(trace(
+            ("write", "a", 0), ("read", "a", 5),
+        ))
+        assert report.alphas == [4]
+
+    def test_next_round_read_scores_zero(self):
+        report = measure_alpha(trace(
+            ("write", "a", 3), ("read", "a", 4),
+        ))
+        assert report.alphas == [0]
+
+    def test_unread_ids_counted(self):
+        report = measure_alpha(trace(
+            ("write", "a", 0), ("write", "b", 0), ("read", "a", 1),
+        ))
+        assert report.unread_ids == 1
+        assert report.max_alpha == 0
+
+    def test_multiple_ids(self):
+        report = measure_alpha(trace(
+            ("write", "a", 0), ("write", "b", 1),
+            ("read", "b", 2), ("read", "a", 9),
+        ))
+        assert sorted(report.alphas) == [0, 8]
+        assert report.max_alpha == 8
+
+    def test_empty_trace(self):
+        report = measure_alpha([])
+        assert report.max_alpha is None
+        assert report.alphas == []
+
+
+class TestBetaMeasurement:
+    def test_beta_counts_round_gap(self):
+        id_log = {"a1": "k", "a2": "k"}
+        betas = measure_beta(trace(
+            ("write", "a1", 0), ("read", "a1", 2), ("write", "a2", 7),
+        ), id_log)
+        assert betas == [5]
+
+    def test_dummies_excluded(self):
+        id_log = {"d1": "\x00dummy:0", "d2": "\x00dummy:0"}
+        betas = measure_beta(trace(
+            ("write", "d1", 0), ("read", "d1", 1), ("write", "d2", 1),
+        ), id_log)
+        assert betas == []
+
+    def test_untracked_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            measure_beta(trace(("read", "mystery", 0)), {})
+
+    def test_interleaved_keys(self):
+        id_log = {"a1": "ka", "a2": "ka", "b1": "kb", "b2": "kb"}
+        betas = measure_beta(trace(
+            ("write", "a1", 0), ("write", "b1", 0),
+            ("read", "a1", 1), ("read", "b1", 3),
+            ("write", "b2", 4), ("write", "a2", 9),
+        ), id_log)
+        assert sorted(betas) == [1, 8]
+
+
+class TestReport:
+    def test_satisfies_checks_both_bounds(self):
+        report = UniformityReport(alphas=[0, 3, 7], betas=[4, 9])
+        assert report.satisfies(alpha_bound=7, beta_bound=4)
+        assert not report.satisfies(alpha_bound=6, beta_bound=4)
+        assert not report.satisfies(alpha_bound=7, beta_bound=5)
+
+    def test_satisfies_vacuous_when_empty(self):
+        assert UniformityReport().satisfies(0, 10**9)
+
+    def test_full_report_combines(self):
+        id_log = {"a1": "k", "a2": "k"}
+        report = full_report(trace(
+            ("write", "a1", 0), ("read", "a1", 2), ("write", "a2", 5),
+        ), id_log)
+        assert report.alphas == [1]
+        assert report.betas == [3]
+        assert report.unread_ids == 1
+
+
+class TestRoundInference:
+    def test_infer_rounds_from_burst_structure(self):
+        from repro.analysis.uniformity import infer_rounds
+        raw = trace(
+            ("write", "i1", 0), ("write", "i2", 0),      # init writes
+            ("read", "a", 0), ("read", "b", 0),          # round 1 reads
+            ("delete", "a", 0), ("delete", "b", 0),
+            ("write", "c", 0), ("write", "d", 0),
+            ("read", "c", 0),                            # round 2 reads
+            ("delete", "c", 0), ("write", "e", 0),
+        )
+        rounds = [r.round for r in infer_rounds(raw)]
+        assert rounds == [0, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2]
+
+    def test_inferred_rounds_match_recorder_rounds(self):
+        """Adversary-inferred rounds reproduce the proxy-marked rounds on
+        a real Waffle trace, so alpha measurements agree."""
+        import random
+        from repro.analysis.uniformity import infer_rounds, measure_alpha
+        from repro.core.batch import ClientRequest
+        from repro.core.config import WaffleConfig
+        from repro.core.datastore import WaffleDatastore
+        from repro.crypto.keys import KeyChain
+        from repro.workloads.trace import Operation
+        from tests.conftest import make_items
+
+        n = 150
+        config = WaffleConfig(n=n, b=16, r=6, f_d=4, d=50, c=20,
+                              value_size=64, seed=51)
+        datastore = WaffleDatastore(config, make_items(n),
+                                    keychain=KeyChain.from_seed(52))
+        rng = random.Random(53)
+        for _ in range(40):
+            datastore.execute_batch([
+                ClientRequest(op=Operation.READ,
+                              key=f"user{rng.randrange(n):08d}")
+                for _ in range(config.r)
+            ])
+        records = datastore.recorder.records
+        marked = measure_alpha(records)
+        inferred = measure_alpha(infer_rounds(records))
+        assert sorted(marked.alphas) == sorted(inferred.alphas)

@@ -1,0 +1,53 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.visualize import line_chart, scatter_plot
+from repro.errors import ConfigurationError
+
+
+class TestLineChart:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": []})
+
+    def test_single_series_renders(self):
+        chart = line_chart({"throughput": [(1, 10.0), (2, 20.0), (4, 15.0)]},
+                           title="Figure 2c")
+        assert "Figure 2c" in chart
+        assert "*" in chart
+        assert "20" in chart  # y-max label
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart({
+            "des": [(1, 1.0), (4, 2.0)],
+            "analytic": [(1, 1.0), (4, 1.8)],
+        })
+        assert "*" in chart and "o" in chart
+        assert "*=des" in chart and "o=analytic" in chart
+
+    def test_extremes_plotted_at_edges(self):
+        chart = line_chart({"s": [(0, 0.0), (10, 100.0)]}, width=20,
+                           height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("*")    # max lands top-right
+        assert rows[-1].split("|")[1][0] == "*"  # min lands bottom-left
+
+    def test_monotone_series_renders_monotone(self):
+        points = [(i, float(i)) for i in range(10)]
+        chart = line_chart({"linear": points}, width=30, height=10)
+        rows = [line.split("|")[1] for line in chart.splitlines()
+                if "|" in line]
+        columns = [row.index("*") for row in rows if "*" in row]
+        assert columns == sorted(columns, reverse=True)
+
+
+class TestScatter:
+    def test_scatter_renders(self):
+        chart = scatter_plot([(585, 1579), (2048, 8666)],
+                             title="Figure 6",
+                             x_label="alpha", y_label="ops")
+        assert "Figure 6" in chart
+        assert "alpha" in chart

@@ -1,0 +1,149 @@
+"""Smoke tests for the per-figure experiment definitions (tiny scales).
+
+These verify each experiment runs end-to-end and exhibits the paper's
+*shape*; the benchmarks directory runs them at their full scaled size.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.core.config import SecurityLevel, WaffleConfig
+
+
+TINY = 2**11
+
+
+class TestDefaults:
+    def test_default_config_ratios(self):
+        config = exp.default_config(TINY)
+        assert config.n == TINY
+        assert config.r / config.b == pytest.approx(0.4, abs=0.1)
+
+    def test_rebalance_keeps_d_consistent(self):
+        config = exp.default_config(TINY)
+        rebalanced = exp._rebalance(config, r=config.b // 2)
+        assert rebalanced.d == WaffleConfig._balanced_dummies(
+            config.n, rebalanced.b, rebalanced.r, rebalanced.f_d)
+
+
+class TestFigure2:
+    def test_fig2ab_rows_and_ordering(self):
+        rows = exp.fig2ab_baselines(n=TINY, rounds=20, taostore_requests=40)
+        systems = {row["system"] for row in rows}
+        assert systems == {"insecure", "waffle", "pancake", "taostore"}
+        by = {(row["workload"], row["system"]): row for row in rows}
+        for workload in ("YCSB-A", "YCSB-C"):
+            assert by[(workload, "insecure")]["throughput_ops"] > \
+                by[(workload, "waffle")]["throughput_ops"]
+            assert by[(workload, "waffle")]["throughput_ops"] > \
+                by[(workload, "pancake")]["throughput_ops"]
+            assert by[(workload, "pancake")]["throughput_ops"] > \
+                by[(workload, "taostore")]["throughput_ops"]
+
+    def test_fig2c_peaks_at_four_cores(self):
+        rows = exp.fig2c_cores(n=TINY, rounds=15, cores=(1, 4, 8))
+        by_cores = {row["cores"]: row["throughput_ops"] for row in rows}
+        assert by_cores[4] > by_cores[1]
+        assert by_cores[4] > by_cores[8]
+
+    def test_fig2d_declines_with_cache(self):
+        rows = exp.fig2d_cache(n=TINY, rounds=15, fractions=(0.01, 0.32))
+        assert rows[0]["throughput_ops"] > rows[-1]["throughput_ops"]
+        assert rows[-1]["hit_rate"] > rows[0]["hit_rate"]
+
+
+class TestFigure3:
+    def test_fig3a_flat_beyond_small_batches(self):
+        rows = exp.fig3a_batch_size(n=TINY, rounds=15,
+                                    batch_sizes=(10, 40, 80))
+        assert rows[0]["throughput_ops"] < rows[1]["throughput_ops"]
+        # beyond the small-B knee the curve flattens (within 25%)
+        assert rows[2]["throughput_ops"] == pytest.approx(
+            rows[1]["throughput_ops"], rel=0.25)
+
+    def test_fig3b_throughput_grows_with_r(self):
+        rows = exp.fig3b_real_fraction(n=TINY, rounds=15,
+                                       fractions=(0.1, 0.4, 0.79))
+        values = [row["throughput_ops"] for row in rows]
+        assert values == sorted(values)
+        assert values[-1] / values[0] > 3  # paper: 5.8x from 10% to 80%
+
+    def test_fig3c_throughput_grows_with_fd(self):
+        rows = exp.fig3c_fake_dummy(n=TINY, rounds=15,
+                                    fractions=(0.1, 0.5))
+        assert rows[-1]["throughput_ops"] > rows[0]["throughput_ops"]
+
+    def test_fig3d_flat_in_d(self):
+        rows = exp.fig3d_num_dummies(n=TINY, rounds=15,
+                                     fractions=(0.2, 1.0))
+        assert rows[-1]["throughput_ops"] == pytest.approx(
+            rows[0]["throughput_ops"], rel=0.1)
+
+
+class TestTable2AndFigure4:
+    def test_table2_bounds_hold(self):
+        rows = exp.table2_security_levels(n=TINY, rounds=120)
+        assert len(rows) == 6
+        for row in rows:
+            if row["alpha_observed"] is not None:
+                assert row["alpha_observed"] <= row["alpha_effective"]
+            if row["beta_observed"] is not None:
+                assert row["beta_observed"] >= row["beta_theory"]
+
+    def test_table2_throughput_ordering(self):
+        rows = exp.table2_security_levels(n=TINY, rounds=120)
+        by_level = {}
+        for row in rows:
+            by_level.setdefault(row["level"], []).append(
+                row["throughput_ops"])
+        assert max(by_level["high"]) < min(by_level["medium"])
+        assert max(by_level["medium"]) < min(by_level["low"])
+
+    def test_table2_paper_n_columns_pinned(self):
+        rows = exp.table2_security_levels(n=TINY, rounds=60,
+                                          levels=(SecurityLevel.HIGH,))
+        assert rows[0]["alpha_theory_paper_n"] == 165
+        assert rows[0]["beta_theory_paper_n"] == 161
+
+    def test_fig4_histograms_similar_across_distributions(self):
+        out = exp.fig4_alpha_histograms(n=TINY, rounds=150)
+        for level in ("high", "medium"):
+            comparison = out["comparisons"][level]
+            assert comparison.differing_fraction < 0.30
+            assert out["histograms"][level]["skewed"]
+            assert out["histograms"][level]["uniform"]
+
+
+class TestFigure5And6:
+    def test_fig5_low_r_more_oblivious(self):
+        rows = exp.fig5_correlated(n=200, requests=8000)
+        by_r = {row["r_pct"]: row for row in rows}
+        assert by_r[20]["differing_fraction"] <= \
+            by_r[40]["differing_fraction"] + 0.02
+        assert by_r[40]["throughput_ops"] > by_r[20]["throughput_ops"]
+
+    def test_fig6_alpha_throughput_tradeoff(self):
+        rows = exp.fig6_tradeoff(n=TINY, rounds=10)
+        assert len(rows) >= 6
+        # Most secure (lowest alpha) must be slower than least secure.
+        assert rows[0]["throughput_ops"] < rows[-1]["throughput_ops"]
+
+
+class TestAblation:
+    def test_fake_policy_ablation(self):
+        # The run must outlast the least-recent policy's alpha bound for
+        # the two policies to separate.
+        out = exp.ablation_fake_policy(n=1024, rounds=700, seed=3)
+        assert out["least_recent"]["max_alpha"] <= \
+            out["least_recent"]["bound"]
+        assert out["uniform"]["max_alpha"] > out["least_recent"]["max_alpha"]
+
+
+class TestLowSecurityDistinguisher:
+    def test_low_leaks_medium_does_not(self):
+        """Table 2's 'not oblivious' claim for the low preset: still-
+        unread initialization ids distinguish the input distribution at
+        low security, and do not at medium security."""
+        out = exp.low_security_distinguisher(n=2048, rounds=100)
+        assert out["low"]["gap"] > 20
+        assert out["medium"]["gap"] <= 3

@@ -1,0 +1,45 @@
+"""Tests for the table/series renderers."""
+
+from repro.bench.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_header(self):
+        rows = [{"system": "waffle", "throughput": 10800.5},
+                {"system": "pancake", "throughput": 7000.123}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert "system" in lines[0] and "throughput" in lines[0]
+        assert "10,801" in out or "10,800" in out
+
+    def test_title_and_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"], title="T")
+        assert out.startswith("T")
+        assert "a" not in out.splitlines()[1]
+
+    def test_none_rendered_as_dash(self):
+        out = format_table([{"x": None}])
+        assert "-" in out.splitlines()[-1]
+
+    def test_small_floats_four_decimals(self):
+        out = format_table([{"x": 0.01234}])
+        assert "0.0123" in out
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert format_series([], "x", "y") == "(no data)"
+
+    def test_bars_scale_with_values(self):
+        rows = [{"x": 1, "y": 10.0}, {"x": 2, "y": 100.0}]
+        out = format_series(rows, "x", "y")
+        first, second = out.splitlines()
+        assert second.count("#") > first.count("#")
+
+    def test_title(self):
+        out = format_series([{"x": 1, "y": 1.0}], "x", "y", title="Series")
+        assert out.splitlines()[0] == "Series"

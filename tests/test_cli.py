@@ -1,0 +1,69 @@
+"""Tests for the CLI experiment runner."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_bounds_default(self, capsys):
+        assert main(["bounds", "--n", "1048576"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 7.1" in out
+
+    def test_bounds_table2_high_exact(self, capsys):
+        assert main(["bounds", "--n", "1000000", "--level", "high"]) == 0
+        out = capsys.readouterr().out
+        assert ": 165" in out
+        assert ": 161" in out
+
+    def test_run_fig2c_small(self, capsys):
+        assert main(["run", "fig2c", "--n", "1024", "--rounds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cores" in out
+        assert "throughput_ops" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "fig2d", "--n", "1024", "--rounds", "5",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list)
+        assert {"cache_pct", "throughput_ops"} <= set(rows[0])
+
+    def test_run_dict_experiment(self, capsys):
+        assert main(["run", "ablation-fake-policy", "--n", "512",
+                     "--rounds", "120"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "least_recent" in payload and "uniform" in payload
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figZZ"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliChart:
+    def test_chart_rendered_for_series_experiment(self, capsys):
+        from repro.cli import main
+        assert main(["run", "fig2c", "--n", "1024", "--rounds", "5",
+                     "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "[throughput_ops vs cores]" in out
+
+    def test_chart_flag_harmless_for_table_experiment(self, capsys):
+        from repro.cli import main
+        assert main(["run", "table2", "--n", "2048", "--rounds", "30",
+                     "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha_theory" in out

@@ -1,0 +1,53 @@
+"""Tests for the client request/response types."""
+
+import pytest
+
+from repro.core.batch import ClientRequest, ClientResponse, request_from_trace
+from repro.workloads.trace import Operation, TraceRequest
+
+
+class TestClientRequest:
+    def test_request_ids_unique_and_increasing(self):
+        a = ClientRequest(op=Operation.READ, key="k1")
+        b = ClientRequest(op=Operation.READ, key="k2")
+        assert b.request_id > a.request_id
+
+    def test_write_requires_value(self):
+        with pytest.raises(ValueError):
+            ClientRequest(op=Operation.WRITE, key="k")
+
+    def test_explicit_request_id_respected(self):
+        request = ClientRequest(op=Operation.READ, key="k", request_id=777)
+        assert request.request_id == 777
+
+    def test_frozen(self):
+        request = ClientRequest(op=Operation.READ, key="k")
+        with pytest.raises(Exception):
+            request.key = "other"
+
+
+class TestTraceConversion:
+    def test_read_converts(self):
+        request = request_from_trace(TraceRequest(Operation.READ, "k"))
+        assert request.op is Operation.READ
+        assert request.key == "k"
+        assert request.value is None
+
+    def test_write_converts_with_value(self):
+        request = request_from_trace(
+            TraceRequest(Operation.WRITE, "k", b"v"))
+        assert request.op is Operation.WRITE
+        assert request.value == b"v"
+
+    def test_conversions_get_distinct_ids(self):
+        trace = TraceRequest(Operation.READ, "k")
+        first = request_from_trace(trace)
+        second = request_from_trace(trace)
+        assert first.request_id != second.request_id
+
+
+class TestClientResponse:
+    def test_response_carries_fields(self):
+        response = ClientResponse(request_id=5, key="k", value=b"v")
+        assert (response.request_id, response.key, response.value) == \
+            (5, "k", b"v")

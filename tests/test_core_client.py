@@ -1,0 +1,59 @@
+"""Tests for the buffered client facade."""
+
+import pytest
+
+from repro.core.client import WaffleClient
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def client(small_datastore) -> WaffleClient:
+    return WaffleClient(small_datastore)
+
+
+class TestBuffering:
+    def test_results_pending_until_flush(self, client):
+        result = client.get("user00000001")
+        assert not result.done
+        with pytest.raises(ProtocolError):
+            _ = result.value
+        client.flush()
+        assert result.done
+        assert result.value == b"value-1"
+
+    def test_auto_flush_at_r_requests(self, client):
+        r = client.datastore.config.r
+        results = [client.get(f"user{i:08d}") for i in range(r)]
+        assert all(result.done for result in results)
+        assert len(client) == 0
+
+    def test_flush_empty_is_noop(self, client):
+        assert client.flush() == 0
+        assert client.datastore.proxy.totals.rounds == 0
+
+    def test_partial_flush(self, client):
+        client.get("user00000001")
+        client.get("user00000002")
+        assert client.flush() == 2
+
+    def test_put_then_get_ordering(self, client):
+        put = client.put("user00000001", b"NEW")
+        get = client.get("user00000001")
+        client.flush()
+        assert put.value == b"NEW"
+        assert get.value == b"NEW"
+
+
+class TestImmediateApi:
+    def test_get_now(self, client):
+        assert client.get_now("user00000005") == b"value-5"
+
+    def test_put_now_then_get_now(self, client):
+        client.put_now("user00000005", b"X")
+        assert client.get_now("user00000005") == b"X"
+
+    def test_get_now_flushes_pending(self, client):
+        pending = client.get("user00000001")
+        value = client.get_now("user00000002")
+        assert value == b"value-2"
+        assert pending.done  # swept up in the same flush

@@ -1,0 +1,163 @@
+"""Tests for the datastore facade: padding, batch API, inserts/deletes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import ClientRequest
+from repro.core.config import WaffleConfig
+from repro.core.datastore import WaffleDatastore, pad_value, unpad_value
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.workloads.trace import Operation
+from tests.conftest import make_items
+
+
+class TestPadding:
+    def test_roundtrip(self):
+        assert unpad_value(pad_value(b"hello", 64)) == b"hello"
+
+    def test_padded_length_exact(self):
+        assert len(pad_value(b"x", 128)) == 128
+        assert len(pad_value(b"", 128)) == 128
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pad_value(b"x" * 61, 64)
+
+    def test_boundary_size(self):
+        value = b"x" * 60
+        assert unpad_value(pad_value(value, 64)) == value
+
+    @given(st.binary(max_size=60))
+    def test_roundtrip_any_bytes(self, value):
+        assert unpad_value(pad_value(value, 64)) == value
+
+    @given(st.binary(max_size=60), st.binary(max_size=60))
+    def test_padded_values_equal_length(self, a, b):
+        assert len(pad_value(a, 64)) == len(pad_value(b, 64))
+
+
+class TestBatchApi:
+    def test_values_unpadded_in_responses(self, small_datastore):
+        responses = small_datastore.execute_batch(
+            [ClientRequest(op=Operation.READ, key="user00000003")]
+        )
+        assert responses[0].value == b"value-3"
+
+    def test_write_then_read(self, small_datastore):
+        small_datastore.execute_batch([
+            ClientRequest(op=Operation.WRITE, key="user00000003", value=b"V2"),
+        ])
+        responses = small_datastore.execute_batch([
+            ClientRequest(op=Operation.READ, key="user00000003"),
+        ])
+        assert responses[0].value == b"V2"
+
+    def test_responses_aligned_with_requests(self, small_datastore):
+        batch = [
+            ClientRequest(op=Operation.READ, key="user00000001"),
+            ClientRequest(op=Operation.WRITE, key="user00000002", value=b"x"),
+            ClientRequest(op=Operation.READ, key="user00000001"),
+        ]
+        responses = small_datastore.execute_batch(batch)
+        assert [r.request_id for r in responses] == \
+               [r.request_id for r in batch]
+        assert responses[0].value == b"value-1"
+        assert responses[1].value == b"x"
+
+
+class TestInsertDelete:
+    def make_store(self):
+        config = WaffleConfig(n=100, b=16, r=6, f_d=4, d=40, c=20,
+                              value_size=64, seed=3)
+        return WaffleDatastore(config, make_items(100),
+                               keychain=KeyChain.from_seed(4), log_ids=True)
+
+    def run_idle_round(self, store):
+        store.execute_batch([])
+
+    def test_insert_becomes_readable(self):
+        store = self.make_store()
+        store.insert("newcomer0000", b"fresh")
+        self.run_idle_round(store)  # the round that consumes the mutation
+        responses = store.execute_batch([
+            ClientRequest(op=Operation.READ, key="newcomer0000"),
+        ])
+        assert responses[0].value == b"fresh"
+
+    def test_insert_swaps_dummy_counts(self):
+        store = self.make_store()
+        d_before = store.proxy.dummy_count
+        n_before = store.proxy.real_count
+        store.insert("newcomer0000", b"fresh")
+        self.run_idle_round(store)
+        assert store.proxy.dummy_count == d_before - 1
+        assert store.proxy.real_count == n_before + 1
+
+    def test_insert_existing_key_rejected(self):
+        store = self.make_store()
+        with pytest.raises(ConfigurationError):
+            store.insert("user00000001", b"dup")
+
+    def test_delete_removes_key(self):
+        store = self.make_store()
+        store.delete("user00000005")
+        self.run_idle_round(store)
+        assert not store.proxy.contains_key("user00000005")
+
+    def test_delete_swaps_in_dummy(self):
+        store = self.make_store()
+        d_before = store.proxy.dummy_count
+        store.delete("user00000005")
+        self.run_idle_round(store)
+        assert store.proxy.dummy_count == d_before + 1
+
+    def test_delete_unknown_key_rejected(self):
+        store = self.make_store()
+        with pytest.raises(KeyNotFoundError):
+            store.delete("ghost")
+
+    def test_batch_shape_preserved_across_mutations(self):
+        """Insert/delete rounds still read exactly B and write exactly B."""
+        store = self.make_store()
+        config = store.config
+        for i in range(4):
+            store.insert(f"extra{i:07d}", b"v")
+        for i in range(4):
+            store.delete(f"user{i:08d}")
+        for _ in range(6):
+            self.run_idle_round(store)
+        for stats in store.proxy.totals.stats_by_round:
+            assert stats.server_reads == config.b
+            assert stats.server_writes == config.b
+
+    def test_storage_invariants_across_mutations(self):
+        from repro.analysis.uniformity import verify_storage_invariants
+        store = self.make_store()
+        for i in range(3):
+            store.insert(f"extra{i:07d}", b"v")
+        store.delete("user00000009")
+        for _ in range(10):
+            self.run_idle_round(store)
+        verify_storage_invariants(store.recorder.records)
+
+    def test_current_bounds_track_mutations(self):
+        store = self.make_store()
+        alpha_before, _ = store.current_bounds()
+        for i in range(4):
+            store.insert(f"extra{i:07d}", b"v")
+        self.run_idle_round(store)
+        alpha_after, _ = store.current_bounds()
+        assert alpha_after >= alpha_before  # N grew
+
+    def test_insert_without_dummies_rejected(self):
+        config = WaffleConfig(n=50, b=10, r=4, f_d=0, d=0, c=10,
+                              value_size=64, seed=5)
+        store = WaffleDatastore(config, make_items(50))
+        with pytest.raises(ConfigurationError):
+            store.insert("x" * 8, b"v")
+
+    def test_server_size_property(self):
+        store = self.make_store()
+        assert store.server_size == (store.config.n - store.config.c
+                                     + store.config.d)

@@ -1,0 +1,127 @@
+"""Tests for the concurrent multi-client front-end."""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.config import WaffleConfig
+from repro.core.datastore import WaffleDatastore
+from repro.core.frontend import ConcurrentFrontend
+from repro.crypto.keys import KeyChain
+from repro.errors import ClosedError, ConfigurationError
+from tests.conftest import make_items
+
+
+def build(n=200, seed=3):
+    config = WaffleConfig(n=n, b=20, r=8, f_d=4, d=60, c=30,
+                          value_size=64, seed=seed)
+    datastore = WaffleDatastore(config, make_items(n),
+                                keychain=KeyChain.from_seed(seed))
+    return datastore
+
+
+class TestFrontendBasics:
+    def test_invalid_delay(self):
+        with pytest.raises(ConfigurationError):
+            ConcurrentFrontend(build(), max_delay_s=0)
+
+    def test_single_threaded_get_put(self):
+        with ConcurrentFrontend(build(), max_delay_s=0.005) as frontend:
+            assert frontend.get("user00000001") == b"value-1"
+            frontend.put("user00000001", b"NEW")
+            assert frontend.get("user00000001") == b"NEW"
+
+    def test_closed_frontend_rejects(self):
+        frontend = ConcurrentFrontend(build(), max_delay_s=0.005)
+        frontend.close()
+        with pytest.raises(ClosedError):
+            frontend.get("user00000001")
+
+    def test_unknown_key_error_delivered_to_caller(self):
+        from repro.errors import ProtocolError
+        with ConcurrentFrontend(build(), max_delay_s=0.005) as frontend:
+            with pytest.raises(ProtocolError):
+                frontend.get("stranger")
+            # The frontend survives the failed batch.
+            assert frontend.get("user00000002") == b"value-2"
+
+
+class TestConcurrency:
+    def test_many_threads_linearizable_per_key(self):
+        """Each thread owns a disjoint key set; every read must see that
+        thread's latest write (per-key program order survives batching
+        across threads)."""
+        datastore = build(n=240, seed=7)
+        errors: list[str] = []
+
+        def worker(thread_id: int) -> None:
+            rng = random.Random(100 + thread_id)
+            my_keys = [f"user{i:08d}"
+                       for i in range(thread_id * 30, thread_id * 30 + 30)]
+            last = {key: b"value-%d" % int(key[4:]) for key in my_keys}
+            for step in range(40):
+                key = rng.choice(my_keys)
+                if rng.random() < 0.5:
+                    value = b"t%d-s%d" % (thread_id, step)
+                    frontend.put(key, value)
+                    last[key] = value
+                else:
+                    got = frontend.get(key)
+                    if got != last[key]:
+                        errors.append(
+                            f"thread {thread_id}: {key} read {got!r} "
+                            f"expected {last[key]!r}")
+
+        with ConcurrentFrontend(datastore, max_delay_s=0.002) as frontend:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+
+    def test_batches_aggregate_concurrent_requests(self):
+        """Concurrent clients share rounds: the batch count is far below
+        the request count."""
+        datastore = build(n=240, seed=9)
+        total_requests = 8 * 30
+
+        def worker(thread_id: int) -> None:
+            rng = random.Random(thread_id)
+            for _ in range(30):
+                frontend.get(f"user{rng.randrange(240):08d}")
+
+        with ConcurrentFrontend(datastore, max_delay_s=0.005) as frontend:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            dispatched = frontend.batches_dispatched
+        assert dispatched < total_requests  # genuine batching happened
+        assert datastore.proxy.totals.requests == total_requests
+
+    def test_storage_invariants_under_concurrency(self):
+        from repro.analysis.uniformity import verify_storage_invariants
+        datastore = build(n=240, seed=11)
+
+        def worker(thread_id: int) -> None:
+            rng = random.Random(thread_id)
+            for step in range(25):
+                key = f"user{rng.randrange(240):08d}"
+                if rng.random() < 0.4:
+                    frontend.put(key, b"w%d-%d" % (thread_id, step))
+                else:
+                    frontend.get(key)
+
+        with ConcurrentFrontend(datastore, max_delay_s=0.002) as frontend:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        verify_storage_invariants(datastore.recorder.records)

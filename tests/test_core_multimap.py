@@ -1,0 +1,78 @@
+"""Tests for the multi-map extension (§8.3.2)."""
+
+import pytest
+
+from repro.core.config import WaffleConfig
+from repro.core.multimap import MultiMapWaffle, slot_key
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError
+
+
+def make_multimap(keys=8, slots=3):
+    items = {
+        f"row{i:04d}": tuple(b"col%d-%d" % (slot, i) for slot in range(slots))
+        for i in range(keys)
+    }
+    config = WaffleConfig(n=keys * slots, b=8, r=3, f_d=2, d=10,
+                          c=4, value_size=64, seed=9)
+    return MultiMapWaffle(config, items, slots,
+                          keychain=KeyChain.from_seed(2)), items
+
+
+class TestMultiMap:
+    def test_get_returns_all_slots(self):
+        mm, items = make_multimap()
+        assert mm.get("row0003") == items["row0003"]
+
+    def test_put_overwrites_all_slots(self):
+        mm, _ = make_multimap()
+        mm.put("row0002", (b"a", b"b", b"c"))
+        assert mm.get("row0002") == (b"a", b"b", b"c")
+
+    def test_put_slot_updates_one_value(self):
+        mm, items = make_multimap()
+        mm.put_slot("row0001", 1, b"patched")
+        values = mm.get("row0001")
+        assert values[1] == b"patched"
+        assert values[0] == items["row0001"][0]
+        assert values[2] == items["row0001"][2]
+
+    def test_put_wrong_arity_rejected(self):
+        mm, _ = make_multimap()
+        with pytest.raises(ConfigurationError):
+            mm.put("row0001", (b"only-one",))
+
+    def test_put_slot_out_of_range(self):
+        mm, _ = make_multimap()
+        with pytest.raises(ConfigurationError):
+            mm.put_slot("row0001", 7, b"x")
+
+    def test_mismatched_tuple_lengths_rejected(self):
+        config = WaffleConfig(n=6, b=4, r=1, f_d=1, d=4, c=1,
+                              value_size=64, seed=1)
+        with pytest.raises(ConfigurationError):
+            MultiMapWaffle(config, {"a": (b"1", b"2"), "b": (b"1",)}, 2)
+
+    def test_n_must_count_slots(self):
+        config = WaffleConfig(n=5, b=4, r=1, f_d=1, d=4, c=1,
+                              value_size=64, seed=1)
+        with pytest.raises(ConfigurationError):
+            MultiMapWaffle(config, {"a": (b"1", b"2")}, 2)
+
+    def test_slot_keys_unique_and_stable(self):
+        assert slot_key("k", 0) != slot_key("k", 1)
+        assert slot_key("k", 0) == slot_key("k", 0)
+
+    def test_build_rescales_config(self):
+        items = {f"r{i}": (b"a", b"b") for i in range(20)}
+        base = WaffleConfig.paper_defaults(n=2**14)
+        mm = MultiMapWaffle.build(items, slots=2, base_config=base)
+        assert mm.datastore.config.n == 40
+
+    def test_slots_hit_storage_as_correlated_requests(self):
+        """A multi-map get issues one sub-request per slot in one batch."""
+        mm, _ = make_multimap()
+        rounds_before = mm.datastore.proxy.totals.rounds
+        mm.get("row0000")
+        assert mm.datastore.proxy.totals.rounds == rounds_before + 1
+        assert mm.datastore.proxy.last_stats.requests == mm.slots

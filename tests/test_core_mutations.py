@@ -1,0 +1,48 @@
+"""Tests for the mutation queue."""
+
+import pytest
+
+from repro.core.mutations import MutationQueue
+from repro.errors import ProtocolError
+
+
+class TestMutationQueue:
+    def test_drain_respects_limits(self):
+        queue = MutationQueue()
+        for i in range(5):
+            queue.enqueue_insert(f"k{i}", b"v")
+            queue.enqueue_delete(f"d{i}")
+        inserts, deletes = queue.drain(insert_limit=2, delete_limit=3)
+        assert len(inserts) == 2
+        assert len(deletes) == 3
+        assert queue.pending_inserts == 3
+        assert queue.pending_deletes == 2
+
+    def test_fifo_order(self):
+        queue = MutationQueue()
+        queue.enqueue_insert("a", b"1")
+        queue.enqueue_insert("b", b"2")
+        inserts, _ = queue.drain(insert_limit=10, delete_limit=10)
+        assert [key for key, _ in inserts] == ["a", "b"]
+
+    def test_duplicate_insert_rejected(self):
+        queue = MutationQueue()
+        queue.enqueue_insert("a", b"1")
+        with pytest.raises(ProtocolError):
+            queue.enqueue_insert("a", b"2")
+
+    def test_duplicate_delete_rejected(self):
+        queue = MutationQueue()
+        queue.enqueue_delete("a")
+        with pytest.raises(ProtocolError):
+            queue.enqueue_delete("a")
+
+    def test_drain_empty(self):
+        assert MutationQueue().drain(5, 5) == ([], [])
+
+    def test_zero_limits(self):
+        queue = MutationQueue()
+        queue.enqueue_insert("a", b"1")
+        inserts, deletes = queue.drain(insert_limit=0, delete_limit=0)
+        assert inserts == [] and deletes == []
+        assert queue.pending_inserts == 1

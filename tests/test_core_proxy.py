@@ -1,0 +1,295 @@
+"""Tests for the Waffle proxy (Algorithm 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.uniformity import (
+    full_report,
+    measure_alpha,
+    verify_storage_invariants,
+)
+from repro.core.batch import ClientRequest
+from repro.core.config import WaffleConfig
+from repro.core.datastore import WaffleDatastore, pad_value
+from repro.core.proxy import WaffleProxy
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError, ProtocolError
+from repro.storage.recording import RecordingStore
+from repro.storage.redis_sim import RedisSim
+from repro.workloads.trace import Operation
+from tests.conftest import make_items
+
+
+def read(key: str) -> ClientRequest:
+    return ClientRequest(op=Operation.READ, key=key)
+
+
+def write(key: str, value: bytes) -> ClientRequest:
+    return ClientRequest(op=Operation.WRITE, key=key, value=value)
+
+
+def build_proxy(config: WaffleConfig, items=None, **kwargs):
+    items = items if items is not None else make_items(config.n)
+    recorder = RecordingStore(RedisSim(write_once=True))
+    proxy = WaffleProxy(config, store=recorder,
+                        keychain=KeyChain.from_seed(3), **kwargs)
+    padded = {k: pad_value(v, config.value_size) for k, v in items.items()}
+    proxy.initialize(padded)
+    return proxy, recorder
+
+
+class TestInitialization:
+    def test_server_holds_uncached_reals_plus_dummies(self, small_config):
+        proxy, recorder = build_proxy(small_config)
+        cfg = small_config
+        assert len(proxy.store) == cfg.n - cfg.c + cfg.d
+        assert len(proxy.cache) == cfg.c
+
+    def test_wrong_item_count_rejected(self, small_config):
+        proxy = WaffleProxy(small_config, store=RedisSim(write_once=True))
+        with pytest.raises(ConfigurationError):
+            proxy.initialize({"k": b"v"})
+
+    def test_double_initialize_rejected(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        with pytest.raises(ProtocolError):
+            proxy.initialize({})
+
+    def test_dummy_prefix_keys_rejected(self, small_config):
+        proxy = WaffleProxy(small_config, store=RedisSim(write_once=True))
+        items = make_items(small_config.n - 1)
+        items["\x00dummy:evil"] = b"x"
+        with pytest.raises(ConfigurationError):
+            proxy.initialize(items)
+
+    def test_uninitialized_batch_rejected(self, small_config):
+        proxy = WaffleProxy(small_config, store=RedisSim(write_once=True))
+        with pytest.raises(ProtocolError):
+            proxy.handle_batch([])
+
+    def test_initialization_writes_recorded(self, small_config):
+        _, recorder = build_proxy(small_config)
+        writes = [r for r in recorder.records if r.op == "write"]
+        assert len(writes) == small_config.n - small_config.c + small_config.d
+
+
+class TestBatchShape:
+    def test_every_round_reads_and_writes_exactly_b(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        rng = random.Random(5)
+        for _ in range(30):
+            batch = [read(f"user{rng.randrange(small_config.n):08d}")
+                     for _ in range(small_config.r)]
+            proxy.handle_batch(batch)
+            stats = proxy.last_stats
+            assert stats.server_reads == small_config.b
+            assert stats.server_writes == small_config.b
+            assert stats.server_deletes == small_config.b
+            assert (stats.unique_real_reads + stats.fake_real_reads
+                    + stats.fake_dummy_reads) == small_config.b
+            assert stats.fake_dummy_reads == small_config.f_d
+
+    def test_cache_returns_to_capacity_each_round(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        rng = random.Random(6)
+        for _ in range(20):
+            batch = [write(f"user{rng.randrange(small_config.n):08d}",
+                           b"w") for _ in range(small_config.r)]
+            proxy.handle_batch(batch)
+            assert len(proxy.cache) == small_config.c
+        assert proxy.totals.max_transient_cache <= (small_config.c
+                                                    + small_config.r)
+
+    def test_duplicate_requests_deduplicated(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        # Pick a key that is not in the cache so it needs a server fetch.
+        uncached = next(
+            key for key in make_items(small_config.n) if key not in proxy.cache
+        )
+        batch = [read(uncached) for _ in range(small_config.r)]
+        responses = proxy.handle_batch(batch)
+        assert proxy.last_stats.unique_real_reads == 1
+        assert len({resp.value for resp in responses}) == 1
+
+    def test_oversized_batch_rejected(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        batch = [read("user00000000")] * (small_config.r + 1)
+        with pytest.raises(ProtocolError):
+            proxy.handle_batch(batch)
+
+    def test_unknown_key_rejected(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        with pytest.raises(ProtocolError):
+            proxy.handle_batch([read("stranger")])
+
+    def test_partial_batch_allowed(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        responses = proxy.handle_batch([read("user00000000")])
+        assert len(responses) == 1
+        assert proxy.last_stats.server_reads == small_config.b
+
+    def test_empty_batch_still_runs_fakes(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        assert proxy.handle_batch([]) == []
+        stats = proxy.last_stats
+        assert stats.server_reads == small_config.b
+        assert stats.unique_real_reads == 0
+        assert stats.fake_real_reads == small_config.b - small_config.f_d
+
+
+class TestStorageInvariants:
+    def test_ids_write_once_read_once(self, small_config):
+        proxy, recorder = build_proxy(small_config)
+        rng = random.Random(7)
+        for _ in range(60):
+            batch = []
+            for _ in range(small_config.r):
+                key = f"user{rng.randrange(small_config.n):08d}"
+                if rng.random() < 0.5:
+                    batch.append(read(key))
+                else:
+                    batch.append(write(key, b"w%d" % rng.randrange(999)))
+            proxy.handle_batch(batch)
+        verify_storage_invariants(recorder.records)
+
+    def test_ids_never_reused_across_rounds(self, small_config):
+        proxy, recorder = build_proxy(small_config)
+        rng = random.Random(8)
+        for _ in range(40):
+            proxy.handle_batch([
+                read(f"user{rng.randrange(small_config.n):08d}")
+                for _ in range(small_config.r)
+            ])
+        reads = [r.storage_id for r in recorder.records if r.op == "read"]
+        assert len(reads) == len(set(reads))
+
+    def test_server_size_bounded(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        rng = random.Random(9)
+        for _ in range(40):
+            proxy.handle_batch([
+                read(f"user{rng.randrange(small_config.n):08d}")
+                for _ in range(small_config.r)
+            ])
+            assert len(proxy.store) == (small_config.n - small_config.c
+                                        + small_config.d)
+
+
+class TestLinearizability:
+    def test_read_after_write_same_batch(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        key = "user00000001"
+        batch = [write(key, b"NEW"), read(key)]
+        responses = proxy.handle_batch(batch)
+        assert responses[1].value.startswith(b"\x00\x00\x00\x03NEW") or \
+            b"NEW" in responses[1].value
+
+    def test_read_before_write_same_batch_sees_old(self, small_config,
+                                                   small_items):
+        proxy, _ = build_proxy(small_config, items=small_items)
+        key = next(k for k in small_items if k not in proxy.cache)
+        batch = [read(key), write(key, b"NEW")]
+        responses = proxy.handle_batch(batch)
+        assert small_items[key] in responses[0].value
+        follow_up = proxy.handle_batch([read(key)])
+        assert b"NEW" in follow_up[0].value
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31), st.integers(1, 60))
+    def test_random_histories_match_reference(self, seed, rounds):
+        """Any random interleaving of reads/writes matches a plain dict."""
+        config = WaffleConfig(n=60, b=12, r=5, f_d=2, d=20, c=10,
+                              value_size=64, seed=seed)
+        items = make_items(60)
+        datastore = WaffleDatastore(config, items,
+                                    keychain=KeyChain.from_seed(seed))
+        reference = dict(items)
+        rng = random.Random(seed)
+        for _ in range(min(rounds, 40)):
+            batch, expected = [], []
+            for _ in range(config.r):
+                key = f"user{rng.randrange(60):08d}"
+                if rng.random() < 0.5:
+                    batch.append(ClientRequest(op=Operation.READ, key=key))
+                    expected.append(reference[key])
+                else:
+                    value = b"w%d" % rng.randrange(10**6)
+                    batch.append(ClientRequest(op=Operation.WRITE, key=key,
+                                               value=value))
+                    reference[key] = value
+                    expected.append(value)
+            responses = datastore.execute_batch(batch)
+            assert [resp.value for resp in responses] == expected
+
+
+class TestSecurityBounds:
+    def run_rounds(self, config, rounds, seed=11):
+        proxy, recorder = build_proxy(config, log_ids=True)
+        rng = random.Random(seed)
+        for _ in range(rounds):
+            proxy.handle_batch([
+                read(f"user{rng.randrange(config.n):08d}")
+                for _ in range(config.r)
+            ])
+        return proxy, recorder
+
+    def test_alpha_beta_within_bounds_reshuffle(self):
+        config = WaffleConfig(n=400, b=40, r=16, f_d=8, d=160, c=120,
+                              value_size=64, seed=13)
+        proxy, recorder = self.run_rounds(config, rounds=250)
+        report = full_report(recorder.records, proxy.id_log)
+        assert report.max_alpha <= config.alpha_bound_effective()
+        assert report.min_beta >= config.beta_bound()
+
+    def test_alpha_within_paper_bound_round_robin(self):
+        config = WaffleConfig(n=400, b=40, r=16, f_d=8, d=160, c=120,
+                              value_size=64, seed=13,
+                              dummy_policy="round_robin")
+        proxy, recorder = self.run_rounds(config, rounds=250)
+        report = measure_alpha(recorder.records)
+        assert report.max_alpha <= config.alpha_bound()
+
+    def test_uniform_fake_policy_violates_alpha(self):
+        """The Challenge-2 ablation: random fake selection has no α bound."""
+        base = dict(n=400, b=40, r=16, f_d=8, d=160, c=120,
+                    value_size=64, seed=13)
+        lra = WaffleConfig(**base)
+        uniform = WaffleConfig(**base, fake_real_policy="uniform")
+        _, rec_lra = self.run_rounds(lra, rounds=300)
+        _, rec_uni = self.run_rounds(uniform, rounds=300)
+        alpha_lra = measure_alpha(rec_lra.records).max_alpha
+        alpha_uni = measure_alpha(rec_uni.records).max_alpha
+        assert alpha_uni > alpha_lra
+
+    def test_small_cache_rewrite_path(self):
+        """C smaller than r + f_R: fetched objects are re-written
+        immediately (§6.2) and every invariant still holds."""
+        config = WaffleConfig(n=400, b=40, r=16, f_d=8, d=160, c=8,
+                              value_size=64, seed=17)
+        proxy, recorder = self.run_rounds(config, rounds=100)
+        verify_storage_invariants(recorder.records)
+        for stats in proxy.totals.stats_by_round:
+            assert stats.server_reads == config.b
+            assert stats.server_writes == config.b
+
+
+class TestCacheBehaviour:
+    def test_cache_hit_served_without_new_id(self, small_config):
+        proxy, recorder = build_proxy(small_config)
+        cached_key = next(iter(proxy.cache.keys()))
+        before = len(recorder.records)
+        responses = proxy.handle_batch([read(cached_key)])
+        assert len(responses) == 1
+        assert proxy.last_stats.cache_hits == 1
+        assert proxy.last_stats.unique_real_reads == 0
+        # The round still performs B reads/writes (all fakes).
+        assert len(recorder.records) - before == 3 * small_config.b
+
+    def test_write_to_cached_key_stays_local(self, small_config):
+        proxy, _ = build_proxy(small_config)
+        cached_key = next(iter(proxy.cache.keys()))
+        proxy.handle_batch([write(cached_key, b"local")])
+        assert proxy.last_stats.unique_real_reads == 0
+        assert b"local" in proxy.cache.peek(cached_key)

@@ -1,0 +1,65 @@
+"""Tests for the deadline-driven batch scheduler."""
+
+import pytest
+
+from repro.core.scheduler import BatchScheduler
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def scheduler(small_datastore):
+    clock = SimClock()
+    return BatchScheduler(small_datastore, clock, max_delay_s=0.5), clock
+
+
+class TestBatchScheduler:
+    def test_invalid_delay(self, small_datastore):
+        with pytest.raises(ConfigurationError):
+            BatchScheduler(small_datastore, SimClock(), max_delay_s=0)
+
+    def test_no_flush_before_deadline(self, scheduler):
+        sched, clock = scheduler
+        result = sched.get("user00000001")
+        clock.advance(0.4)
+        assert sched.tick() == 0
+        assert not result.done
+
+    def test_timeout_flush_after_deadline(self, scheduler):
+        sched, clock = scheduler
+        result = sched.get("user00000001")
+        clock.advance(0.6)
+        assert sched.tick() == 1
+        assert result.done
+        assert result.value == b"value-1"
+        assert sched.timeout_flushes == 1
+
+    def test_full_batch_flushes_without_deadline(self, scheduler):
+        sched, clock = scheduler
+        r = sched._client.datastore.config.r
+        results = [sched.get(f"user{i:08d}") for i in range(r)]
+        assert all(result.done for result in results)
+        assert sched.full_flushes == 1
+        assert sched.tick() == 0  # nothing left pending
+
+    def test_deadline_measured_from_oldest_request(self, scheduler):
+        sched, clock = scheduler
+        sched.get("user00000001")
+        clock.advance(0.3)
+        sched.get("user00000002")  # newer request must not reset deadline
+        clock.advance(0.3)         # oldest is now 0.6 old
+        assert sched.tick() == 2
+
+    def test_writes_flush_too(self, scheduler):
+        sched, clock = scheduler
+        result = sched.put("user00000003", b"NEW")
+        clock.advance(1.0)
+        sched.tick()
+        assert result.value == b"NEW"
+
+    def test_force_flush(self, scheduler):
+        sched, _ = scheduler
+        sched.get("user00000001")
+        assert sched.buffered == 1
+        assert sched.flush() == 1
+        assert sched.buffered == 0

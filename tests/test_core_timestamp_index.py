@@ -1,0 +1,139 @@
+"""Tests for the real/dummy timestamp indexes."""
+
+import pytest
+
+from repro.core.timestamp_index import DummyObjectIndex, RealObjectIndex
+
+
+class TestRealObjectIndex:
+    def make(self, n=10):
+        return RealObjectIndex([f"k{i}" for i in range(n)], seed=1)
+
+    def test_all_keys_start_at_zero(self):
+        index = self.make()
+        assert all(index.timestamp(f"k{i}") == 0 for i in range(10))
+        assert index.server_resident_count == 0
+
+    def test_residency_controls_candidacy(self):
+        index = self.make(3)
+        index.mark_server_resident("k0")
+        index.mark_server_resident("k1")
+        assert index.server_resident_count == 2
+        assert index.min_timestamp_key() in ("k0", "k1")
+        index.mark_cached("k0")
+        index.mark_cached("k1")
+        assert index.server_resident_count == 0
+
+    def test_min_follows_timestamps(self):
+        index = self.make(3)
+        for key in ("k0", "k1", "k2"):
+            index.mark_server_resident(key)
+        index.set_timestamp("k0", 5)
+        index.set_timestamp("k1", 2)
+        index.set_timestamp("k2", 9)
+        assert index.min_timestamp_key() == "k1"
+
+    def test_set_timestamp_for_cached_key_kept_out_of_tree(self):
+        index = self.make(2)
+        index.set_timestamp("k0", 7)
+        assert index.timestamp("k0") == 7
+        assert index.server_resident_count == 0
+        index.mark_server_resident("k0")
+        assert index.min_timestamp_key() == "k0"
+
+    def test_unknown_key_rejected(self):
+        index = self.make(1)
+        with pytest.raises(KeyError):
+            index.set_timestamp("nope", 1)
+        with pytest.raises(KeyError):
+            index.timestamp("nope")
+
+    def test_add_and_drop_key(self):
+        index = self.make(2)
+        index.add_key("new", ts=4, server_resident=True)
+        assert "new" in index
+        assert index.server_resident_count == 1
+        with pytest.raises(KeyError):
+            index.add_key("new", ts=5, server_resident=False)
+        index.drop_key("new")
+        assert "new" not in index
+        assert index.server_resident_count == 0
+
+    def test_random_resident_key(self):
+        import random
+        index = self.make(20)
+        for i in range(20):
+            index.mark_server_resident(f"k{i}")
+        rng = random.Random(3)
+        picks = {index.random_resident_key(rng) for _ in range(100)}
+        assert len(picks) > 5  # genuinely spread
+        assert all(pick in index for pick in picks)
+
+
+class TestDummyObjectIndex:
+    def make(self, d=8, reshuffle=True):
+        return DummyObjectIndex([f"d{i}" for i in range(d)], seed=2,
+                                reshuffle=reshuffle)
+
+    def test_initial_state(self):
+        index = self.make()
+        assert len(index) == 8
+        assert index.stored_timestamp("d3") == 0
+
+    def test_accesses_rotate_through_all_dummies(self):
+        index = self.make(d=6)
+        picked = []
+        for ts in range(1, 7):
+            key = index.min_timestamp_key()
+            picked.append(key)
+            index.record_access(key, ts)
+        assert sorted(picked) == [f"d{i}" for i in range(6)]
+
+    def test_stored_timestamp_tracks_last_access(self):
+        index = self.make()
+        key = index.min_timestamp_key()
+        index.record_access(key, 42)
+        assert index.stored_timestamp(key) == 42
+
+    def test_reshuffle_changes_order_but_preserves_stored_ts(self):
+        index = self.make(d=4, reshuffle=True)
+        stored = {}
+        for ts in range(1, 5):
+            key = index.min_timestamp_key()
+            index.record_access(key, ts)
+            stored[key] = ts
+        index.end_round(4)  # epoch complete -> reshuffle fires
+        for key, ts in stored.items():
+            assert index.stored_timestamp(key) == ts
+
+    def test_round_robin_never_reshuffles(self):
+        index = self.make(d=4, reshuffle=False)
+        first_epoch = []
+        for ts in range(1, 5):
+            key = index.min_timestamp_key()
+            first_epoch.append(key)
+            index.record_access(key, ts)
+            index.end_round(ts)
+        second_epoch = []
+        for ts in range(5, 9):
+            key = index.min_timestamp_key()
+            second_epoch.append(key)
+            index.record_access(key, ts)
+            index.end_round(ts)
+        assert first_epoch == second_epoch  # strict round robin
+
+    def test_swap_out_and_in(self):
+        index = self.make(d=3)
+        key = index.min_timestamp_key()
+        ts = index.swap_out(key)
+        assert ts == 0
+        assert key not in index
+        assert len(index) == 2
+        index.swap_in("fresh", 9)
+        assert index.stored_timestamp("fresh") == 9
+        with pytest.raises(KeyError):
+            index.swap_in("fresh", 10)
+
+    def test_any_key(self):
+        index = self.make(d=2)
+        assert index.any_key() in index

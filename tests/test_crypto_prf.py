@@ -1,0 +1,63 @@
+"""Unit and property tests for the PRF."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.prf import Prf
+
+
+@pytest.fixture
+def prf() -> Prf:
+    return Prf(b"test-secret")
+
+
+class TestPrfBasics:
+    def test_deterministic(self, prf):
+        assert prf.derive("k1", 5) == prf.derive("k1", 5)
+
+    def test_distinct_timestamps_distinct_ids(self, prf):
+        assert prf.derive("k1", 1) != prf.derive("k1", 2)
+
+    def test_distinct_keys_distinct_ids(self, prf):
+        assert prf.derive("k1", 1) != prf.derive("k2", 1)
+
+    def test_fixed_output_length(self, prf):
+        ids = {prf.derive(f"key-{i}", i) for i in range(50)}
+        assert {len(sid) for sid in ids} == {32}
+
+    def test_distinct_secrets_diverge(self):
+        a, b = Prf(b"secret-a"), Prf(b"secret-b")
+        assert a.derive("k", 0) != b.derive("k", 0)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            Prf(b"")
+
+    def test_prefix_ambiguity_resolved(self, prf):
+        # "k1" + ts 23 must not collide with "k12" + ts 3.
+        assert prf.derive("k1", 23) != prf.derive("k12", 3)
+
+    def test_derive_bytes_deterministic(self, prf):
+        assert prf.derive_bytes(b"x") == prf.derive_bytes(b"x")
+        assert prf.derive_bytes(b"x") != prf.derive_bytes(b"y")
+
+
+class TestPrfProperties:
+    @given(st.text(min_size=1, max_size=40), st.integers(0, 2**40))
+    def test_output_is_hex_and_stable(self, key, ts):
+        prf = Prf(b"property-secret")
+        out = prf.derive(key, ts)
+        assert len(out) == 32
+        int(out, 16)  # valid hex
+        assert out == prf.derive(key, ts)
+
+    @given(
+        st.lists(
+            st.tuples(st.text(min_size=1, max_size=20), st.integers(0, 10**6)),
+            min_size=2, max_size=50, unique=True,
+        )
+    )
+    def test_no_collisions_across_inputs(self, inputs):
+        prf = Prf(b"collision-secret")
+        outputs = [prf.derive(key, ts) for key, ts in inputs]
+        assert len(set(outputs)) == len(outputs)

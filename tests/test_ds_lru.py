@@ -1,0 +1,141 @@
+"""Unit and property tests for the LRU cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ds.lru import LruCache
+
+
+class TestLruBasics:
+    def test_put_get(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        cache.get("a")  # refresh "a" -> LRU is now "b"
+        assert cache.evict() == ("b", "b")
+
+    def test_peek_does_not_touch_recency(self):
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        cache.peek("a")
+        assert cache.evict() == ("a", "a")
+
+    def test_touch_updates_recency(self):
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        cache.touch("a")
+        assert cache.evict() == ("b", "b")
+
+    def test_put_never_evicts(self):
+        cache = LruCache(2)
+        for i in range(5):
+            cache.put(i, i)
+        assert len(cache) == 5
+        assert cache.over_capacity() == 3
+
+    def test_remove(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        assert cache.remove("a") == 1
+        assert "a" not in cache
+        with pytest.raises(KeyError):
+            cache.remove("a")
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(KeyError):
+            LruCache(2).evict()
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(-1)
+
+    def test_zero_capacity_everything_over(self):
+        cache = LruCache(0)
+        cache.put("a", 1)
+        assert cache.over_capacity() == 1
+
+    def test_keys_in_lru_order(self):
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        cache.get("a")
+        assert list(cache.keys()) == ["b", "c", "a"]
+
+
+class TestLruProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["put", "get", "touch", "evict"]),
+                      st.integers(0, 12)),
+            max_size=200,
+        )
+    )
+    def test_matches_reference_model(self, operations):
+        """The cache agrees with a list-based reference implementation."""
+        cache = LruCache(5)
+        order: list[int] = []  # least recent first
+        values: dict[int, int] = {}
+        for i, (op, key) in enumerate(operations):
+            if op == "put":
+                if key in values:
+                    order.remove(key)
+                order.append(key)
+                values[key] = i
+                cache.put(key, i)
+            elif op == "get" and key in values:
+                order.remove(key)
+                order.append(key)
+                assert cache.get(key) == values[key]
+            elif op == "touch" and key in values:
+                order.remove(key)
+                order.append(key)
+                cache.touch(key)
+            elif op == "evict" and values:
+                expected = order.pop(0)
+                evicted_key, evicted_value = cache.evict()
+                assert evicted_key == expected
+                assert evicted_value == values.pop(expected)
+        assert list(cache.keys()) == order
+
+
+class TestLruStress:
+    def test_long_churn_against_ordered_reference(self):
+        """20k mixed operations against the list-based reference model."""
+        import random
+        cache = LruCache(64)
+        order: list[int] = []
+        values: dict[int, int] = {}
+        rng = random.Random(200)
+        for step in range(20_000):
+            roll = rng.random()
+            key = rng.randrange(200)
+            if roll < 0.5:
+                if key in values:
+                    order.remove(key)
+                order.append(key)
+                values[key] = step
+                cache.put(key, step)
+            elif roll < 0.7 and key in values:
+                order.remove(key)
+                order.append(key)
+                assert cache.get(key) == values[key]
+            elif roll < 0.9 and values:
+                expected = order.pop(0)
+                got_key, got_value = cache.evict()
+                assert got_key == expected
+                assert got_value == values.pop(expected)
+            elif key in values:
+                order.remove(key)
+                order.append(key)
+                cache.touch(key)
+        assert list(cache.keys()) == order

@@ -1,0 +1,175 @@
+"""Unit and property tests for the treap (Waffle's balanced BST)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ds.treap import Treap
+
+
+class TestTreapBasics:
+    def test_empty(self):
+        tree = Treap(seed=1)
+        assert len(tree) == 0
+        with pytest.raises(KeyError):
+            tree.min()
+
+    def test_insert_and_min(self):
+        tree = Treap(seed=1)
+        tree.insert("b", (2, "b"))
+        tree.insert("a", (1, "a"))
+        tree.insert("c", (3, "c"))
+        assert tree.min() == ((1, "a"), "a")
+        assert len(tree) == 3
+
+    def test_reposition_on_reinsert(self):
+        tree = Treap(seed=1)
+        tree.insert("a", (1, "a"))
+        tree.insert("b", (2, "b"))
+        tree.insert("a", (9, "a"))  # move "a" behind "b"
+        assert tree.min() == ((2, "b"), "b")
+        assert len(tree) == 2
+
+    def test_remove(self):
+        tree = Treap(seed=1)
+        for i, name in enumerate("abcde"):
+            tree.insert(name, (i, name))
+        tree.remove("a")
+        assert tree.min() == ((1, "b"), "b")
+        assert "a" not in tree
+        with pytest.raises(KeyError):
+            tree.remove("a")
+
+    def test_pop_min_drains_in_order(self):
+        tree = Treap(seed=2)
+        order = list(range(100))
+        random.Random(3).shuffle(order)
+        for value in order:
+            tree.insert(f"k{value}", (value, f"k{value}"))
+        drained = [tree.pop_min()[0][0] for _ in range(100)]
+        assert drained == sorted(drained)
+        assert len(tree) == 0
+
+    def test_items_sorted(self):
+        tree = Treap(seed=4)
+        for value in (5, 3, 9, 1, 7):
+            tree.insert(f"k{value}", (value, f"k{value}"))
+        keys = [sk[0] for sk, _ in tree.items()]
+        assert keys == [1, 3, 5, 7, 9]
+
+    def test_select_order_statistics(self):
+        tree = Treap(seed=5)
+        for value in range(50):
+            tree.insert(f"k{value:02d}", (value, f"k{value:02d}"))
+        for rank in (0, 1, 25, 49):
+            sort_key, entry = tree.select(rank)
+            assert sort_key[0] == rank
+        with pytest.raises(IndexError):
+            tree.select(50)
+        with pytest.raises(IndexError):
+            tree.select(-1)
+
+    def test_sort_key_of(self):
+        tree = Treap(seed=6)
+        tree.insert("x", (7, "x"))
+        assert tree.sort_key_of("x") == (7, "x")
+        with pytest.raises(KeyError):
+            tree.sort_key_of("missing")
+
+    def test_large_sequential_inserts_no_recursion_error(self):
+        # Sequential sort keys would be worst-case for a plain BST; the
+        # treap (and the iterative merge/split) must handle them.
+        tree = Treap(seed=7)
+        for value in range(20_000):
+            tree.insert(value, (value, value))
+        assert tree.min() == ((0, 0), 0)
+        tree.check_invariants()
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "pop_min"]),
+        st.integers(0, 30),
+        st.integers(0, 100),
+    ),
+    max_size=200,
+)
+
+
+class TestTreapProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(ops, st.integers(0, 2**31))
+    def test_matches_reference_model(self, operations, seed):
+        """The treap behaves like a sorted reference dict under any
+        interleaving of inserts, removes and pop-mins."""
+        tree = Treap(seed=seed)
+        reference: dict[int, tuple] = {}
+        for op, entry, ts in operations:
+            if op == "insert":
+                tree.insert(entry, (ts, entry))
+                reference[entry] = (ts, entry)
+            elif op == "remove" and entry in reference:
+                tree.remove(entry)
+                del reference[entry]
+            elif op == "pop_min" and reference:
+                sort_key, popped = tree.pop_min()
+                expected_key = min(reference.values())
+                assert sort_key == expected_key
+                assert reference.pop(popped) == expected_key
+        assert len(tree) == len(reference)
+        assert [sk for sk, _ in tree.items()] == sorted(reference.values())
+        tree.check_invariants()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=300,
+                    unique=True))
+    def test_select_agrees_with_sorted_order(self, values):
+        tree = Treap(seed=11)
+        for value in values:
+            tree.insert(value, (value, value))
+        expected = sorted(values)
+        for rank, value in enumerate(expected):
+            assert tree.select(rank)[1] == value
+
+
+class TestTreapStress:
+    def test_interleaved_heavy_churn(self):
+        """A long randomized churn (the shape Waffle's indexes see:
+        insert/remove/min cycling) against a reference dict."""
+        import random
+        tree = Treap(seed=99)
+        reference: dict[int, tuple] = {}
+        rng = random.Random(100)
+        for step in range(20_000):
+            roll = rng.random()
+            entry = rng.randrange(500)
+            if roll < 0.5:
+                sort_key = (rng.randrange(10_000), entry)
+                tree.insert(entry, sort_key)
+                reference[entry] = sort_key
+            elif roll < 0.75 and reference:
+                victim = rng.choice(list(reference))
+                tree.remove(victim)
+                del reference[victim]
+            elif reference:
+                assert tree.min() == (min(reference.values()),
+                                      min(reference, key=lambda e:
+                                          reference[e]))
+        assert len(tree) == len(reference)
+        tree.check_invariants()
+
+    def test_min_equals_sorted_front_throughout(self):
+        import random
+        tree = Treap(seed=101)
+        rng = random.Random(102)
+        live = {}
+        for step in range(3000):
+            entry = f"e{rng.randrange(200)}"
+            tree.insert(entry, (rng.randrange(1000), entry))
+            live[entry] = tree.sort_key_of(entry)
+            if step % 7 == 0:
+                sort_key, found = tree.pop_min()
+                expected_entry = min(live, key=lambda e: live[e])
+                assert found == expected_entry
+                assert sort_key == live.pop(found)

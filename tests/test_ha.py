@@ -1,0 +1,284 @@
+"""Tests for proxy checkpointing and primary-secondary failover."""
+
+import random
+
+import pytest
+
+from repro.analysis.uniformity import full_report, verify_storage_invariants
+from repro.core.batch import ClientRequest
+from repro.core.config import WaffleConfig
+from repro.core.datastore import pad_value
+from repro.core.proxy import WaffleProxy
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError, ProtocolError
+from repro.ha import HighlyAvailableProxy, capture_proxy, restore_proxy
+from repro.storage.recording import RecordingStore
+from repro.storage.redis_sim import RedisSim
+from repro.workloads.trace import Operation
+from tests.conftest import make_items
+
+
+CONFIG = WaffleConfig(n=200, b=20, r=8, f_d=4, d=60, c=30,
+                      value_size=64, seed=5)
+
+
+def build_proxy(log_ids: bool = False):
+    recorder = RecordingStore(RedisSim(write_once=True))
+    proxy = WaffleProxy(CONFIG, store=recorder,
+                        keychain=KeyChain.from_seed(6), log_ids=log_ids)
+    items = {k: pad_value(v, CONFIG.value_size)
+             for k, v in make_items(CONFIG.n).items()}
+    proxy.initialize(items)
+    return proxy, recorder
+
+
+def random_batch(rng, write_fraction=0.4):
+    batch = []
+    for _ in range(CONFIG.r):
+        key = f"user{rng.randrange(CONFIG.n):08d}"
+        if rng.random() < write_fraction:
+            batch.append(ClientRequest(op=Operation.WRITE, key=key,
+                                       value=b"w%08d" % rng.randrange(10**8)))
+        else:
+            batch.append(ClientRequest(op=Operation.READ, key=key))
+    return batch
+
+
+class TestCheckpoint:
+    def test_uninitialized_proxy_rejected(self):
+        proxy = WaffleProxy(CONFIG, store=RedisSim(write_once=True))
+        with pytest.raises(ProtocolError):
+            capture_proxy(proxy)
+
+    def test_restored_proxy_is_behaviourally_identical(self):
+        """The acid test: from one checkpoint, the original and the
+        restored proxy produce identical responses AND identical server
+        access sequences for the same future batches."""
+        proxy, recorder = build_proxy()
+        rng = random.Random(7)
+        for _ in range(10):
+            proxy.handle_batch(random_batch(rng))
+
+        blob = capture_proxy(proxy)
+        # Clone the entire server so the twin acts on an identical world.
+        import copy
+        twin_store = RecordingStore(copy.deepcopy(recorder._inner))
+        twin = restore_proxy(blob, twin_store)
+
+        rng_a, rng_b = random.Random(8), random.Random(8)
+        for _ in range(10):
+            responses_a = proxy.handle_batch(random_batch(rng_a))
+            responses_b = twin.handle_batch(random_batch(rng_b))
+            assert [r.value for r in responses_a] == \
+                   [r.value for r in responses_b]
+        ids_a = [r.storage_id for r in recorder.records]
+        ids_b = [r.storage_id for r in twin_store.records]
+        assert ids_a[-200:] == ids_b[-200:]
+
+    def test_checkpoint_excludes_server(self):
+        # At realistic value sizes the blob (cache + metadata) is far
+        # smaller than the outsourced data, because the server is not
+        # part of the checkpoint.
+        config = WaffleConfig(n=200, b=20, r=8, f_d=4, d=60, c=30,
+                              value_size=1024, seed=5)
+        recorder = RecordingStore(RedisSim(write_once=True))
+        proxy = WaffleProxy(config, store=recorder,
+                            keychain=KeyChain.from_seed(6))
+        proxy.initialize({k: pad_value(v, config.value_size)
+                          for k, v in make_items(config.n).items()})
+        blob = capture_proxy(proxy)
+        server_bytes = sum(len(v) for v in recorder._inner._data.values())
+        assert len(blob) < server_bytes / 2
+
+    def test_restore_preserves_counters(self):
+        proxy, recorder = build_proxy()
+        rng = random.Random(9)
+        for _ in range(5):
+            proxy.handle_batch(random_batch(rng))
+        restored = restore_proxy(capture_proxy(proxy), recorder)
+        assert restored.ts == proxy.ts
+        assert restored.totals.rounds == proxy.totals.rounds
+        assert len(restored.cache) == len(proxy.cache)
+        assert list(restored.cache.keys()) == list(proxy.cache.keys())
+
+
+class TestFailover:
+    def test_interval_validation(self):
+        proxy, _ = build_proxy()
+        with pytest.raises(ConfigurationError):
+            HighlyAvailableProxy(proxy, checkpoint_interval=0)
+
+    def test_failover_preserves_linearizability(self):
+        proxy, recorder = build_proxy()
+        ha = HighlyAvailableProxy(proxy)
+        reference = dict(make_items(CONFIG.n))
+        rng = random.Random(11)
+
+        def run_batches(count):
+            for _ in range(count):
+                batch, expected = [], []
+                for _ in range(CONFIG.r):
+                    key = f"user{rng.randrange(CONFIG.n):08d}"
+                    if rng.random() < 0.4:
+                        value = b"w%08d" % rng.randrange(10**8)
+                        batch.append(ClientRequest(op=Operation.WRITE,
+                                                   key=key, value=value))
+                        reference[key] = value
+                        expected.append(value)
+                    else:
+                        batch.append(ClientRequest(op=Operation.READ,
+                                                   key=key))
+                        expected.append(reference[key])
+                padded = [
+                    ClientRequest(op=req.op, key=req.key,
+                                  value=pad_value(req.value, CONFIG.value_size),
+                                  request_id=req.request_id)
+                    if req.value is not None else req
+                    for req in batch
+                ]
+                responses = ha.handle_batch(padded)
+                from repro.core.datastore import unpad_value
+                got = [unpad_value(r.value) for r in responses]
+                assert got == expected
+
+        run_batches(15)
+        ha.fail_over()
+        run_batches(15)
+        ha.fail_over()
+        run_batches(15)
+        assert ha.failovers == 2
+
+    def test_failover_preserves_storage_invariants_and_bounds(self):
+        proxy, recorder = build_proxy(log_ids=True)
+        ha = HighlyAvailableProxy(proxy)
+        rng = random.Random(13)
+        for burst in range(4):
+            for _ in range(40):
+                ha.handle_batch(random_batch(rng, write_fraction=0.3))
+            ha.fail_over()
+        verify_storage_invariants(recorder.records)
+        report = full_report(recorder.records, ha.proxy.id_log)
+        assert report.max_alpha <= CONFIG.alpha_bound_effective()
+        assert report.min_beta >= CONFIG.beta_bound()
+
+    def test_lagging_standby_refused(self):
+        proxy, _ = build_proxy()
+        ha = HighlyAvailableProxy(proxy, checkpoint_interval=5)
+        rng = random.Random(17)
+        ha.handle_batch(random_batch(rng))  # 1 < 5: no snapshot shipped
+        with pytest.raises(ProtocolError):
+            ha.fail_over()
+
+    def test_lagging_standby_promotable_explicitly(self):
+        proxy, _ = build_proxy()
+        ha = HighlyAvailableProxy(proxy, checkpoint_interval=5)
+        rng = random.Random(19)
+        ha.handle_batch(random_batch(rng))
+        promoted = ha.fail_over(allow_stale=True)
+        assert promoted.ts < proxy.ts  # it is genuinely behind
+
+    def test_synchronous_interval_never_lags(self):
+        proxy, _ = build_proxy()
+        ha = HighlyAvailableProxy(proxy, checkpoint_interval=1)
+        rng = random.Random(23)
+        for _ in range(5):
+            ha.handle_batch(random_batch(rng))
+            assert ha.standby_lag_batches == 0
+
+    def test_snapshot_shipping_respects_interval(self):
+        proxy, _ = build_proxy()
+        ha = HighlyAvailableProxy(proxy, checkpoint_interval=3)
+        rng = random.Random(29)
+        baseline = ha.snapshots_shipped
+        for _ in range(9):
+            ha.handle_batch(random_batch(rng))
+        assert ha.snapshots_shipped == baseline + 3
+
+
+class TestQuorumReplication:
+    def build_group(self, standbys=2, quorum=None):
+        from repro.ha.quorum import QuorumReplicatedProxy
+        proxy, recorder = build_proxy(log_ids=True)
+        return QuorumReplicatedProxy(proxy, standbys=standbys,
+                                     quorum=quorum), recorder
+
+    def test_validation(self):
+        from repro.ha.quorum import QuorumReplicatedProxy
+        proxy, _ = build_proxy()
+        with pytest.raises(ConfigurationError):
+            QuorumReplicatedProxy(proxy, standbys=0)
+        with pytest.raises(ConfigurationError):
+            QuorumReplicatedProxy(proxy, standbys=2, quorum=5)
+
+    def test_batches_replicate_to_quorum(self):
+        group, _ = self.build_group()
+        rng = random.Random(31)
+        for _ in range(5):
+            group.handle_batch(random_batch(rng))
+        assert group.acknowledged_batches == 5
+        assert group.alive_standbys == 2
+
+    def test_promotion_after_primary_death(self):
+        group, recorder = self.build_group()
+        rng = random.Random(37)
+        for _ in range(20):
+            group.handle_batch(random_batch(rng))
+        ts_before = group.proxy.ts
+        group.fail_over()
+        assert group.proxy.ts == ts_before  # synchronous: nothing lost
+        for _ in range(20):
+            group.handle_batch(random_batch(rng))
+        verify_storage_invariants(recorder.records)
+
+    def test_survives_one_standby_failure(self):
+        group, _ = self.build_group(standbys=2)  # group 3, quorum 2
+        group.fail_standby(0)
+        rng = random.Random(41)
+        group.handle_batch(random_batch(rng))  # still 2 of 2 quorum
+        assert group.acknowledged_batches == 1
+
+    def test_refuses_batches_below_quorum(self):
+        group, _ = self.build_group(standbys=2, quorum=3)
+        group.fail_standby(0)
+        group.fail_standby(1)
+        rng = random.Random(43)
+        with pytest.raises(ProtocolError):
+            group.handle_batch(random_batch(rng))
+
+    def test_standby_restore_rejoins(self):
+        group, _ = self.build_group(standbys=2, quorum=3)
+        group.fail_standby(0)
+        group.restore_standby(0)
+        rng = random.Random(47)
+        group.handle_batch(random_batch(rng))
+        assert group.acknowledged_batches == 1
+
+    def test_double_failure_of_same_standby_rejected(self):
+        group, _ = self.build_group()
+        group.fail_standby(0)
+        with pytest.raises(ProtocolError):
+            group.fail_standby(0)
+
+    def test_no_alive_standby_no_promotion(self):
+        group, _ = self.build_group(standbys=1, quorum=1)
+        group.fail_standby(0)
+        with pytest.raises(ProtocolError):
+            group.fail_over()
+
+    def test_invariants_across_promotions_and_failures(self):
+        group, recorder = self.build_group(standbys=3, quorum=2)
+        rng = random.Random(53)
+        for _ in range(15):
+            group.handle_batch(random_batch(rng))
+        group.fail_standby(1)
+        group.fail_over()
+        for _ in range(15):
+            group.handle_batch(random_batch(rng))
+        group.restore_standby(1)
+        group.fail_over()
+        for _ in range(15):
+            group.handle_batch(random_batch(rng))
+        verify_storage_invariants(recorder.records)
+        report = full_report(recorder.records, group.proxy.id_log)
+        assert report.max_alpha <= CONFIG.alpha_bound_effective()
+        assert report.min_beta >= CONFIG.beta_bound()

@@ -1,0 +1,44 @@
+"""Tests for the insecure baseline."""
+
+import pytest
+
+from repro.baselines.insecure import InsecureStore
+from repro.errors import KeyNotFoundError
+from repro.storage.recording import RecordingStore
+from repro.storage.redis_sim import RedisSim
+from repro.workloads.trace import Operation, TraceRequest
+
+
+class TestInsecureStore:
+    def test_loads_initial_items(self):
+        store = InsecureStore(RedisSim(), {"a": b"1", "b": b"2"})
+        assert store.get("a") == b"1"
+
+    def test_put_get_delete(self):
+        store = InsecureStore(RedisSim(), {})
+        store.put("k", b"v")
+        assert store.get("k") == b"v"
+        store.delete("k")
+        with pytest.raises(KeyNotFoundError):
+            store.get("k")
+
+    def test_execute_trace_requests(self):
+        store = InsecureStore(RedisSim(), {"a": b"1"})
+        assert store.execute(TraceRequest(Operation.READ, "a")) == b"1"
+        assert store.execute(TraceRequest(Operation.WRITE, "a", b"2")) is None
+        assert store.get("a") == b"2"
+
+    def test_operations_counted(self):
+        store = InsecureStore(RedisSim(), {"a": b"1"})
+        store.get("a")
+        store.put("b", b"2")
+        store.delete("b")
+        assert store.operations == 3
+
+    def test_access_pattern_fully_exposed(self):
+        """The whole point of the baseline: plaintext keys hit the wire."""
+        recorder = RecordingStore(RedisSim())
+        store = InsecureStore(recorder, {"secret-key": b"1"})
+        store.get("secret-key")
+        assert any(r.storage_id == "secret-key" and r.op == "read"
+                   for r in recorder.records)

@@ -1,0 +1,59 @@
+"""Public-surface sanity: exports, error hierarchy, version."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("name", [
+        "ConfigurationError", "StorageError", "KeyNotFoundError",
+        "DuplicateKeyError", "IntegrityError", "ProtocolError",
+        "ClosedError",
+    ])
+    def test_all_errors_derive_from_repro_error(self, name):
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+    def test_key_errors_carry_key(self):
+        error = errors.KeyNotFoundError("k-123")
+        assert error.key == "k-123"
+        assert "k-123" in str(error)
+        dup = errors.DuplicateKeyError("k-456")
+        assert dup.key == "k-456"
+
+    def test_storage_errors_are_storage_errors(self):
+        assert issubclass(errors.KeyNotFoundError, errors.StorageError)
+        assert issubclass(errors.DuplicateKeyError, errors.StorageError)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("module", [
+        "repro.core", "repro.crypto", "repro.ds", "repro.storage",
+        "repro.sim", "repro.workloads", "repro.baselines",
+        "repro.analysis", "repro.bench", "repro.ha", "repro.scaleout",
+        "repro.net", "repro.cli",
+    ])
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name) is not None, f"{module}.{name}"
+
+    def test_every_public_module_has_docstring(self):
+        import pathlib
+        root = pathlib.Path(repro.__file__).parent
+        for path in root.rglob("*.py"):
+            source = path.read_text()
+            stripped = source.lstrip()
+            assert stripped.startswith('"""') or stripped.startswith("'''"), \
+                f"{path.relative_to(root)} lacks a module docstring"

@@ -1,0 +1,108 @@
+"""Tests for Pancake's frequency-smoothing mathematics."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.pancake.smoothing import AliasSampler, SmoothedDistribution
+from repro.errors import ConfigurationError
+
+
+def zipf_pi(n: int, theta: float = 0.99) -> np.ndarray:
+    weights = np.arange(1, n + 1, dtype=float) ** (-theta)
+    return weights / weights.sum()
+
+
+class TestAliasSampler:
+    def test_uniform_weights(self):
+        sampler = AliasSampler(np.ones(10), seed=1)
+        counts = Counter(sampler.sample() for _ in range(20_000))
+        for value in range(10):
+            assert counts[value] / 20_000 == pytest.approx(0.1, rel=0.15)
+
+    def test_skewed_weights(self):
+        sampler = AliasSampler([8.0, 1.0, 1.0], seed=2)
+        counts = Counter(sampler.sample() for _ in range(20_000))
+        assert counts[0] / 20_000 == pytest.approx(0.8, rel=0.1)
+
+    def test_zero_weight_never_sampled(self):
+        sampler = AliasSampler([1.0, 0.0, 1.0], seed=3)
+        assert 1 not in {sampler.sample() for _ in range(5000)}
+
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigurationError):
+            AliasSampler([])
+        with pytest.raises(ConfigurationError):
+            AliasSampler([-1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            AliasSampler([0.0, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30)
+           .filter(lambda w: sum(w) > 1e-9))
+    def test_samples_in_range(self, weights):
+        sampler = AliasSampler(weights, seed=4)
+        assert all(0 <= sampler.sample() < len(weights) for _ in range(100))
+
+
+class TestSmoothedDistribution:
+    def test_replica_counts_formula(self):
+        pi = zipf_pi(50)
+        smoothing = SmoothedDistribution(pi, seed=1)
+        expected = np.maximum(1, np.ceil(pi * 50)).astype(int)
+        assert (smoothing.replicas == expected).all()
+
+    def test_universe_padded_to_2n(self):
+        smoothing = SmoothedDistribution(zipf_pi(64), seed=2)
+        assert len(smoothing.universe) == 128
+        assert smoothing.dummy_replicas == 128 - smoothing.replicas.sum()
+
+    def test_fake_weights_sum_to_one(self):
+        smoothing = SmoothedDistribution(zipf_pi(100), seed=3)
+        assert smoothing.fake_weights.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_fake_weights_non_negative(self):
+        smoothing = SmoothedDistribution(zipf_pi(100), seed=4)
+        assert (smoothing.fake_weights >= 0).all()
+
+    def test_per_replica_probability_uniform(self):
+        """The core smoothing guarantee: every replica's stationary access
+        probability equals 1/n̂ when the assumed π is correct."""
+        n = 40
+        smoothing = SmoothedDistribution(zipf_pi(n), seed=5)
+        for key in (0, 1, n // 2, n - 1):
+            for replica in range(smoothing.replica_count(key)):
+                prob = smoothing.replica_access_probability(key, replica)
+                assert prob == pytest.approx(1 / smoothing.n_hat, rel=1e-6)
+
+    def test_pi_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            SmoothedDistribution([0.5, 0.1])
+
+    def test_negative_pi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SmoothedDistribution([1.5, -0.5])
+
+    def test_uniform_pi_single_replicas(self):
+        smoothing = SmoothedDistribution(np.full(20, 0.05), seed=6)
+        assert (smoothing.replicas == 1).all()
+
+    def test_sample_fake_matches_weights(self):
+        smoothing = SmoothedDistribution(zipf_pi(10), seed=7)
+        counts = Counter(smoothing.sample_fake() for _ in range(30_000))
+        # Dummy replicas carry weight 2/n̂ each; the hottest key's replicas
+        # carry less.  Verify a dummy is sampled more often than the
+        # hottest key's first replica.
+        dummy_count = sum(v for (k, _), v in counts.items() if k < 0)
+        expected_dummy = smoothing.dummy_replicas * 2 / smoothing.n_hat
+        assert dummy_count / 30_000 == pytest.approx(expected_dummy, rel=0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 80), st.floats(0.0, 1.5))
+    def test_smoothing_always_well_formed(self, n, theta):
+        smoothing = SmoothedDistribution(zipf_pi(n, theta), seed=8)
+        assert len(smoothing.universe) == 2 * n
+        assert (smoothing.fake_weights >= 0).all()
+        assert smoothing.fake_weights.sum() == pytest.approx(1.0, abs=1e-6)

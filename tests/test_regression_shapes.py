@@ -1,0 +1,77 @@
+"""Golden-shape regression tests.
+
+The benchmark suite regenerates every paper figure at full (scaled)
+size; these tests pin the *shapes* of the headline results at a reduced
+size so an accidental regression (a cost-model edit, a protocol change)
+fails fast in `pytest tests/` rather than only in a benchmark run.
+Bands are deliberately wide — they encode orderings and rough factors,
+not point estimates.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.core.config import SecurityLevel, WaffleConfig
+from repro.sim.costmodel import CostModel
+
+
+N = 2**12
+
+
+@pytest.fixture(scope="module")
+def fig2_rows():
+    return exp.fig2ab_baselines(n=N, rounds=40, taostore_requests=60)
+
+
+class TestHeadlineShapes:
+    def test_cost_of_privacy_band(self, fig2_rows):
+        by = {(r["workload"], r["system"]): r for r in fig2_rows}
+        for workload in ("YCSB-A", "YCSB-C"):
+            ratio = (by[(workload, "insecure")]["throughput_ops"]
+                     / by[(workload, "waffle")]["throughput_ops"])
+            assert 4.0 < ratio < 11.0  # paper 5.8-6.04 at full scale
+
+    def test_pancake_gap_band(self, fig2_rows):
+        by = {(r["workload"], r["system"]): r for r in fig2_rows}
+        for workload in ("YCSB-A", "YCSB-C"):
+            ratio = (by[(workload, "waffle")]["throughput_ops"]
+                     / by[(workload, "pancake")]["throughput_ops"])
+            assert 1.1 < ratio < 2.2  # paper 1.455-1.577 at full scale
+
+    def test_taostore_gap_band(self, fig2_rows):
+        by = {(r["workload"], r["system"]): r for r in fig2_rows}
+        ratio = (by[("YCSB-C", "waffle")]["throughput_ops"]
+                 / by[("YCSB-C", "taostore")]["throughput_ops"])
+        assert ratio > 30  # paper 102 at full scale (grows with log N)
+
+    def test_latency_ordering(self, fig2_rows):
+        by = {(r["workload"], r["system"]): r for r in fig2_rows}
+        chain = [by[("YCSB-C", s)]["latency_ms"]
+                 for s in ("insecure", "waffle", "pancake", "taostore")]
+        assert chain == sorted(chain)
+        assert chain[-1] > 100  # TaoStore in the hundreds of ms
+
+
+class TestBoundRegression:
+    """The theory pins that must never drift."""
+
+    @pytest.mark.parametrize("level,alpha,beta", [
+        (SecurityLevel.HIGH, 165, 161),
+        (SecurityLevel.MEDIUM, 1000, 5),
+        (SecurityLevel.LOW, 999999, 4),
+    ])
+    def test_table2_theory_exact(self, level, alpha, beta):
+        config = WaffleConfig.security_preset(level, n=10**6)
+        assert config.alpha_bound() == alpha
+        assert config.beta_bound() == beta
+
+    def test_default_bandwidth_overhead(self):
+        config = WaffleConfig.paper_defaults(n=2**20)
+        # (f_D + f_R)/R with the paper's defaults: (500+1000)/1000 = 1.5x.
+        assert config.bandwidth_overhead() == pytest.approx(1.5)
+
+    def test_core_curve_anchors(self):
+        cost = CostModel()
+        assert cost.core_efficiency(1) == 1.0
+        assert 1.6 < cost.core_efficiency(4) < 2.0
+        assert cost.core_efficiency(8) < cost.core_efficiency(4)

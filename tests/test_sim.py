@@ -1,0 +1,115 @@
+"""Tests for the simulated clock, cost model and metrics."""
+
+import math
+
+import pytest
+
+from repro.sim import CostModel, LatencyRecorder, SimClock, ThroughputMeter
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1)
+
+    def test_reset(self):
+        clock = SimClock(start=5)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestCostModel:
+    def test_core_efficiency_monotone_to_four(self):
+        cost = CostModel()
+        effs = [cost.core_efficiency(c) for c in (1, 2, 3, 4)]
+        assert effs == sorted(effs)
+        assert effs[0] == 1.0
+
+    def test_core_efficiency_peaks_at_four(self):
+        cost = CostModel()
+        peak = cost.core_efficiency(4)
+        assert cost.core_efficiency(6) < peak
+        assert cost.core_efficiency(12) < cost.core_efficiency(6)
+
+    def test_core_efficiency_floor(self):
+        cost = CostModel()
+        assert cost.core_efficiency(100) >= cost.core_floor * cost.core_efficiency(4) - 1e-12
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            CostModel().core_efficiency(0)
+
+    def test_pipelined_cheaper_than_unbatched_per_op(self):
+        cost = CostModel()
+        batched = cost.pipelined_round_trip_s(100, 1.0) / 100
+        assert batched < cost.unbatched_op_s(1.0)
+
+    def test_transfer_scales_linearly(self):
+        cost = CostModel()
+        assert cost.transfer_s(10, 1.0) == pytest.approx(10 * cost.transfer_per_kib_s)
+
+    def test_lru_cost_grows_with_cache(self):
+        cost = CostModel()
+        assert cost.lru_op_s(2**20) > cost.lru_op_s(2**10)
+
+    def test_index_cost_logarithmic(self):
+        cost = CostModel()
+        small, large = cost.index_op_s(2**10), cost.index_op_s(2**20)
+        assert large == pytest.approx(small * (math.log2(2**20 + 2)
+                                               / math.log2(2**10 + 2)))
+
+    def test_aead_floor_for_tiny_values(self):
+        cost = CostModel()
+        assert cost.aead_s(1, 0.0) > 0
+
+
+class TestThroughputMeter:
+    def test_empty(self):
+        assert ThroughputMeter().ops_per_second() == 0.0
+
+    def test_rate(self):
+        meter = ThroughputMeter()
+        meter.record(0, now=0.0)
+        meter.record(100, now=1.0)
+        meter.record(100, now=2.0)
+        assert meter.ops_per_second() == pytest.approx(100.0)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().record(-1, now=0.0)
+
+
+class TestLatencyRecorder:
+    def test_summary_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(value / 1000)
+        summary = recorder.summary()
+        assert summary.count == 100
+        assert summary.p50 == pytest.approx(0.050)
+        assert summary.p95 == pytest.approx(0.095)
+        assert summary.p99 == pytest.approx(0.099)
+        assert summary.max == pytest.approx(0.100)
+        assert summary.mean == pytest.approx(0.0505)
+
+    def test_empty_summary(self):
+        summary = LatencyRecorder().summary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)

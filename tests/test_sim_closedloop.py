@@ -1,0 +1,57 @@
+"""Tests for the closed-loop latency simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.closedloop import simulate_closed_loop
+
+
+class TestClosedLoop:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            simulate_closed_loop(0.0, 10, 10)
+        with pytest.raises(ConfigurationError):
+            simulate_closed_loop(0.01, 0, 10)
+        with pytest.raises(ConfigurationError):
+            simulate_closed_loop(0.01, 10, 0)
+
+    def test_saturated_throughput_matches_capacity(self):
+        """With clients >> R, throughput approaches R / round_time."""
+        result = simulate_closed_loop(round_time_s=0.01, batch_capacity=10,
+                                      clients=50, duration_s=5.0)
+        assert result.throughput_ops == pytest.approx(10 / 0.01, rel=0.05)
+        assert result.timeout_dispatches == 0
+
+    def test_underload_uses_timeout_dispatches(self):
+        """With fewer clients than R, batches dispatch on timeout."""
+        result = simulate_closed_loop(round_time_s=0.01, batch_capacity=100,
+                                      clients=5, duration_s=5.0)
+        assert result.timeout_dispatches > 0
+        assert result.requests > 0
+
+    def test_latency_includes_queueing(self):
+        saturated = simulate_closed_loop(round_time_s=0.01,
+                                         batch_capacity=10, clients=100,
+                                         duration_s=5.0)
+        light = simulate_closed_loop(round_time_s=0.01, batch_capacity=10,
+                                     clients=10, duration_s=5.0)
+        assert saturated.latency.mean > light.latency.mean
+        assert saturated.latency.p99 >= saturated.latency.p50
+
+    def test_think_time_reduces_throughput(self):
+        busy = simulate_closed_loop(0.01, 10, 20, think_time_s=0.0,
+                                    duration_s=5.0)
+        idle = simulate_closed_loop(0.01, 10, 20, think_time_s=0.05,
+                                    duration_s=5.0)
+        assert idle.throughput_ops < busy.throughput_ops
+
+    def test_latency_floor_is_round_time(self):
+        result = simulate_closed_loop(round_time_s=0.02, batch_capacity=5,
+                                      clients=5, duration_s=5.0)
+        assert result.latency.p50 >= 0.02
+
+    def test_rounds_and_requests_consistent(self):
+        result = simulate_closed_loop(round_time_s=0.01, batch_capacity=10,
+                                      clients=30, duration_s=3.0)
+        assert result.requests <= result.rounds * 10
+        assert result.requests > 0

@@ -1,0 +1,86 @@
+"""Tests for the multi-core proxy pipeline model."""
+
+import pytest
+
+from repro.core.config import WaffleConfig
+from repro.errors import ConfigurationError
+from repro.sim.costmodel import CostModel
+from repro.sim.pipeline import PipelineModel, model_from_cost, speedup_curve
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PipelineModel(-1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            PipelineModel(1.0, 0.1, lock_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            PipelineModel(1.0, 0.1, lock_contention_growth=-0.1)
+        with pytest.raises(ConfigurationError):
+            PipelineModel(1.0, 0.1).simulate(0)
+        with pytest.raises(ConfigurationError):
+            PipelineModel(1.0, 0.1).simulate(2, rounds=0)
+
+
+class TestMechanism:
+    def test_no_contention_scales_linearly(self):
+        """With zero lock share and coordination, speedup is ~W."""
+        model = PipelineModel(parallel_work_s=1.0, serial_work_s=0.0,
+                              lock_fraction=0.0,
+                              lock_contention_growth=0.0,
+                              coordination_s=0.0)
+        curve = speedup_curve(model, worker_counts=(1, 2, 4))
+        assert curve[2] == pytest.approx(2.0, rel=0.05)
+        assert curve[4] == pytest.approx(4.0, rel=0.05)
+
+    def test_serial_work_caps_speedup(self):
+        """Amdahl: 50% serial caps speedup below 2 regardless of cores."""
+        model = PipelineModel(parallel_work_s=1.0, serial_work_s=1.0,
+                              lock_fraction=0.0,
+                              lock_contention_growth=0.0,
+                              coordination_s=0.0)
+        curve = speedup_curve(model, worker_counts=(1, 4, 12))
+        assert curve[12] < 2.0
+
+    def test_contention_creates_interior_peak(self):
+        """The Figure 2c mechanism: contention makes the curve rise to a
+        peak and then decline below single-core throughput."""
+        config = WaffleConfig.paper_defaults(n=2**14, seed=1)
+        model = model_from_cost(config, CostModel())
+        curve = speedup_curve(model)
+        counts = sorted(curve)
+        peak = max(counts, key=lambda c: curve[c])
+        assert 2 <= peak <= 6           # interior peak (paper: 4)
+        assert curve[peak] > 1.5
+        after = [c for c in counts if c > peak]
+        values = [curve[c] for c in after]
+        assert values == sorted(values, reverse=True)  # monotone decline
+        assert curve[max(counts)] < 0.6 * curve[peak]  # the plummet
+
+    def test_network_binds_when_cpu_is_cheap(self):
+        model = PipelineModel(parallel_work_s=0.001, serial_work_s=0.0,
+                              lock_fraction=0.0,
+                              lock_contention_growth=0.0,
+                              coordination_s=0.0, network_s=1.0)
+        result = model.simulate(8)
+        assert result.round_time_s == pytest.approx(1.0, rel=0.05)
+
+    def test_des_tracks_analytic_curve_direction(self):
+        """The DES and the analytic core_efficiency curve agree on the
+        qualitative ordering at every measured core count."""
+        config = WaffleConfig.paper_defaults(n=2**14, seed=1)
+        cost = CostModel()
+        curve = speedup_curve(model_from_cost(config, cost))
+        analytic = {c: cost.core_efficiency(c) for c in curve}
+        for count in (2, 4):
+            assert curve[count] > 1.0
+            assert analytic[count] > 1.0
+        assert curve[12] < curve[4]
+        assert analytic[12] < analytic[4]
+
+    def test_serial_share_grows_with_workers(self):
+        config = WaffleConfig.paper_defaults(n=2**14, seed=1)
+        model = model_from_cost(config, CostModel())
+        small = model.simulate(2).serial_share
+        large = model.simulate(12).serial_share
+        assert large > small

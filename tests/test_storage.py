@@ -1,0 +1,232 @@
+"""Tests for the storage substrate: memory store, RedisSim, recorder,
+sharded store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, ProtocolError
+from repro.storage import (
+    InMemoryStore,
+    RecordingStore,
+    RedisSim,
+    ShardedStore,
+)
+
+
+@pytest.fixture(params=["memory", "redis"])
+def store(request):
+    if request.param == "memory":
+        return InMemoryStore()
+    return RedisSim()
+
+
+class TestBackendContract:
+    """Behaviour every backend must share."""
+
+    def test_put_get_delete(self, store):
+        store.put("k", b"v")
+        assert store.get("k") == b"v"
+        assert "k" in store
+        assert len(store) == 1
+        store.delete("k")
+        assert "k" not in store
+        assert len(store) == 0
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get("missing")
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.delete("missing")
+
+    def test_overwrite_allowed_by_default(self, store):
+        store.put("k", b"v1")
+        store.put("k", b"v2")
+        assert store.get("k") == b"v2"
+
+    def test_multi_operations_roundtrip(self, store):
+        items = [(f"k{i}", b"v%d" % i) for i in range(20)]
+        store.multi_put(items)
+        keys = [key for key, _ in items]
+        assert store.multi_get(keys) == [value for _, value in items]
+        store.multi_delete(keys[:10])
+        assert len(store) == 10
+
+
+class TestWriteOnceMode:
+    @pytest.mark.parametrize("factory", [InMemoryStore, RedisSim])
+    def test_duplicate_write_rejected(self, factory):
+        store = factory(write_once=True)
+        store.put("k", b"v")
+        with pytest.raises(DuplicateKeyError):
+            store.put("k", b"v2")
+
+    def test_rewrite_allowed_after_delete(self):
+        store = RedisSim(write_once=True)
+        store.put("k", b"v")
+        store.delete("k")
+        store.put("k", b"v2")  # a fresh id lifecycle
+        assert store.get("k") == b"v2"
+
+
+class TestRedisCommands:
+    def test_exists_and_dbsize(self):
+        redis = RedisSim()
+        assert redis.execute(("EXISTS", "k")) == 0
+        redis.execute(("SET", "k", b"v"))
+        assert redis.execute(("EXISTS", "k")) == 1
+        assert redis.execute(("DBSIZE",)) == 1
+
+    def test_mget_mset(self):
+        redis = RedisSim()
+        redis.execute(("MSET", "a", b"1", "b", b"2"))
+        assert redis.execute(("MGET", "a", "b")) == [b"1", b"2"]
+
+    def test_mset_odd_args_rejected(self):
+        with pytest.raises(ProtocolError):
+            RedisSim().execute(("MSET", "a"))
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            RedisSim().execute(("FLUSHALL",))
+
+    def test_pipeline_returns_replies_in_order(self):
+        redis = RedisSim()
+        pipe = redis.pipeline()
+        pipe.enqueue(("SET", "a", b"1")).enqueue(("GET", "a"))
+        pipe.enqueue(("EXISTS", "b"))
+        assert pipe.flush() == [b"OK", b"1", 0]
+        assert len(pipe) == 0
+
+    def test_command_count(self):
+        redis = RedisSim()
+        redis.put("a", b"1")
+        redis.get("a")
+        assert redis.command_count == 2
+
+
+class TestRecordingStore:
+    def test_records_every_access(self):
+        recorder = RecordingStore(RedisSim())
+        recorder.put("a", b"1")
+        recorder.get("a")
+        recorder.delete("a")
+        assert [(r.op, r.storage_id) for r in recorder.records] == [
+            ("write", "a"), ("read", "a"), ("delete", "a"),
+        ]
+
+    def test_rounds_advance(self):
+        recorder = RecordingStore(RedisSim())
+        recorder.put("a", b"1")
+        recorder.next_round()
+        recorder.get("a")
+        assert recorder.records[0].round == 0
+        assert recorder.records[1].round == 1
+
+    def test_sequence_numbers_are_global(self):
+        recorder = RecordingStore(RedisSim())
+        recorder.multi_put([("a", b"1"), ("b", b"2")])
+        recorder.multi_get(["a", "b"])
+        assert [r.seq for r in recorder.records] == [0, 1, 2, 3]
+
+    def test_disable_recording(self):
+        recorder = RecordingStore(RedisSim())
+        recorder.enabled = False
+        recorder.put("a", b"1")
+        assert recorder.records == []
+        recorder.enabled = True
+        recorder.get("a")
+        assert len(recorder.records) == 1
+
+    def test_clear_records_keeps_counters(self):
+        recorder = RecordingStore(RedisSim())
+        recorder.put("a", b"1")
+        recorder.next_round()
+        recorder.clear_records()
+        recorder.get("a")
+        assert recorder.records[0].round == 1
+        assert recorder.records[0].seq == 1
+
+    def test_contains_and_len_do_not_record(self):
+        recorder = RecordingStore(RedisSim())
+        recorder.put("a", b"1")
+        _ = "a" in recorder
+        _ = len(recorder)
+        assert len(recorder.records) == 1
+
+
+class TestShardedStore:
+    def test_requires_shards(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            ShardedStore([])
+
+    def test_routing_is_stable(self):
+        store = ShardedStore([InMemoryStore() for _ in range(4)])
+        assert store.shard_index("key-1") == store.shard_index("key-1")
+
+    def test_operations_span_shards(self):
+        shards = [InMemoryStore() for _ in range(4)]
+        store = ShardedStore(shards)
+        items = [(f"k{i}", b"v%d" % i) for i in range(100)]
+        store.multi_put(items)
+        assert len(store) == 100
+        assert sum(len(s) > 0 for s in shards) > 1  # actually distributed
+        assert store.multi_get([k for k, _ in items]) == [v for _, v in items]
+        store.multi_delete([k for k, _ in items[:50]])
+        assert len(store) == 50
+
+    def test_single_key_operations(self):
+        store = ShardedStore([InMemoryStore(), InMemoryStore()])
+        store.put("x", b"1")
+        assert store.get("x") == b"1"
+        assert "x" in store
+        store.delete("x")
+        assert "x" not in store
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.binary(max_size=16), max_size=40))
+    def test_sharded_equals_flat(self, items):
+        """A sharded store is observably identical to a flat store."""
+        flat = InMemoryStore()
+        sharded = ShardedStore([InMemoryStore() for _ in range(3)])
+        flat.multi_put(items.items())
+        sharded.multi_put(items.items())
+        keys = list(items)
+        assert sharded.multi_get(keys) == flat.multi_get(keys)
+        assert len(sharded) == len(flat)
+
+
+class TestStorageHypothesis:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(
+        st.sampled_from(["put", "get", "delete"]),
+        st.text(min_size=1, max_size=6),
+        st.binary(max_size=12)), max_size=120))
+    def test_redis_sim_matches_dict_model(self, operations):
+        """RedisSim agrees with a plain dict under any command sequence."""
+        store = RedisSim()
+        model: dict[str, bytes] = {}
+        for op, key, value in operations:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            elif op == "get":
+                if key in model:
+                    assert store.get(key) == model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        store.get(key)
+            else:
+                if key in model:
+                    store.delete(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        store.delete(key)
+        assert len(store) == len(model)
+        if model:
+            keys = sorted(model)
+            assert store.multi_get(keys) == [model[k] for k in keys]

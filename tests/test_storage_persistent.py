@@ -1,0 +1,162 @@
+"""Tests for the durable (snapshot + AOF) storage backend."""
+
+import random
+import struct
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.storage.persistent import PersistentStore
+
+
+@pytest.fixture
+def directory(tmp_path):
+    return tmp_path / "db"
+
+
+class TestBasics:
+    def test_put_get_delete(self, directory):
+        store = PersistentStore(directory)
+        store.put("k", b"v")
+        assert store.get("k") == b"v"
+        store.delete("k")
+        with pytest.raises(KeyNotFoundError):
+            store.get("k")
+
+    def test_write_once_mode(self, directory):
+        store = PersistentStore(directory, write_once=True)
+        store.put("k", b"v")
+        with pytest.raises(DuplicateKeyError):
+            store.put("k", b"v2")
+
+    def test_multi_operations(self, directory):
+        store = PersistentStore(directory)
+        items = [(f"k{i}", b"v%d" % i) for i in range(30)]
+        store.multi_put(items)
+        assert store.multi_get([k for k, _ in items]) == \
+            [v for _, v in items]
+        store.multi_delete([k for k, _ in items[:10]])
+        assert len(store) == 20
+
+
+class TestDurability:
+    def test_recovery_from_log_only(self, directory):
+        store = PersistentStore(directory)
+        store.put("a", b"1")
+        store.put("b", b"2")
+        store.delete("a")
+        store.crash()
+        recovered = PersistentStore(directory)
+        assert "a" not in recovered
+        assert recovered.get("b") == b"2"
+
+    def test_recovery_from_snapshot_plus_log(self, directory):
+        store = PersistentStore(directory)
+        for i in range(50):
+            store.put(f"k{i}", b"v%d" % i)
+        store.snapshot()
+        store.put("after", b"tail")
+        store.delete("k0")
+        store.crash()
+        recovered = PersistentStore(directory)
+        assert len(recovered) == 50  # 50 - k0 + after
+        assert recovered.get("after") == b"tail"
+        assert "k0" not in recovered
+
+    def test_snapshot_truncates_log(self, directory):
+        store = PersistentStore(directory)
+        for i in range(20):
+            store.put(f"k{i}", b"x" * 100)
+        log_before = (directory / "appendonly.log").stat().st_size
+        store.snapshot()
+        log_after = (directory / "appendonly.log").stat().st_size
+        assert log_before > 0
+        assert log_after == 0
+
+    def test_torn_tail_record_discarded(self, directory):
+        store = PersistentStore(directory)
+        store.put("good", b"value")
+        store.close()
+        # Simulate a crash mid-append: write a truncated record.
+        with open(directory / "appendonly.log", "ab") as log:
+            log.write(struct.pack(">BII", 1, 4, 100) + b"torn")
+        recovered = PersistentStore(directory)
+        assert recovered.get("good") == b"value"
+        assert len(recovered) == 1
+
+    def test_binary_values_roundtrip(self, directory):
+        payload = bytes(range(256)) * 3
+        store = PersistentStore(directory)
+        store.put("bin", payload)
+        store.crash()
+        assert PersistentStore(directory).get("bin") == payload
+
+    def test_random_history_recovers_exactly(self, directory):
+        store = PersistentStore(directory)
+        reference = {}
+        rng = random.Random(7)
+        for step in range(500):
+            key = f"k{rng.randrange(40)}"
+            roll = rng.random()
+            if roll < 0.5:
+                value = b"v%d" % step
+                store.put(key, value)
+                reference[key] = value
+            elif roll < 0.7 and key in reference:
+                store.delete(key)
+                del reference[key]
+            elif roll < 0.75:
+                store.snapshot()
+        store.crash()
+        recovered = PersistentStore(directory)
+        assert {k: recovered.get(k) for k in reference} == reference
+        assert len(recovered) == len(reference)
+
+
+class TestWaffleOverPersistentServer:
+    def test_waffle_survives_server_restart(self, directory):
+        """A server crash+recovery between batches is invisible to the
+        proxy: no consumed id reappears, values persist."""
+        from repro.core.batch import ClientRequest
+        from repro.core.config import WaffleConfig
+        from repro.core.proxy import WaffleProxy
+        from repro.core.datastore import pad_value, unpad_value
+        from repro.crypto.keys import KeyChain
+        from repro.workloads.trace import Operation
+        from tests.conftest import make_items
+
+        n = 120
+        config = WaffleConfig(n=n, b=16, r=6, f_d=4, d=40, c=20,
+                              value_size=64, seed=61)
+        store = PersistentStore(directory, write_once=True)
+        proxy = WaffleProxy(config, store=store,
+                            keychain=KeyChain.from_seed(62))
+        items = make_items(n)
+        proxy.initialize({k: pad_value(v, config.value_size)
+                          for k, v in items.items()})
+        rng = random.Random(63)
+        proxy.handle_batch([
+            ClientRequest(op=Operation.WRITE, key="user00000005",
+                          value=pad_value(b"durable!", config.value_size)),
+        ])
+        for _ in range(5):
+            proxy.handle_batch([
+                ClientRequest(op=Operation.READ,
+                              key=f"user{rng.randrange(n):08d}")
+                for _ in range(config.r)
+            ])
+
+        # Server crashes and recovers; proxy state survives client-side.
+        store.crash()
+        recovered = PersistentStore(directory, write_once=True)
+        proxy.store = recovered
+        for _ in range(5):
+            proxy.handle_batch([
+                ClientRequest(op=Operation.READ,
+                              key=f"user{rng.randrange(n):08d}")
+                for _ in range(config.r)
+            ])
+        response = proxy.handle_batch([
+            ClientRequest(op=Operation.READ, key="user00000005"),
+        ])[0]
+        assert unpad_value(response.value) == b"durable!"

@@ -1,0 +1,93 @@
+"""Tests for YCSB workload D (read-latest + inserts) and HotspotSampler."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.uniformity import verify_storage_invariants
+from repro.bench.harness import run_waffle_with_inserts
+from repro.core.config import WaffleConfig
+from repro.errors import ConfigurationError
+from repro.sim.costmodel import CostModel
+from repro.workloads import HotspotSampler, Operation, workload_d
+from repro.workloads.ycsb import key_name
+
+
+class TestHotspotSampler:
+    def test_hot_set_dominates(self):
+        sampler = HotspotSampler(1000, hot_fraction=0.2,
+                                 hot_opn_fraction=0.8, seed=1)
+        hits = sum(1 for _ in range(20_000)
+                   if sampler.sample() < sampler.hot_keys)
+        assert hits / 20_000 == pytest.approx(0.8, abs=0.02)
+
+    def test_probability_sums_to_one(self):
+        sampler = HotspotSampler(100, seed=2)
+        assert sum(sampler.probability(i) for i in range(100)) == \
+            pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HotspotSampler(0)
+        with pytest.raises(ValueError):
+            HotspotSampler(10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotSampler(10, hot_opn_fraction=1.5)
+
+
+class TestLatestWorkload:
+    def test_mix_is_95_5(self):
+        workload = workload_d(500, seed=3, value_size=64)
+        ops = Counter(req.op for req in workload.requests(4000))
+        assert ops[Operation.READ] / 4000 == pytest.approx(0.95, abs=0.02)
+        assert ops[Operation.INSERT] > 0
+
+    def test_inserts_extend_keyspace_monotonically(self):
+        workload = workload_d(100, seed=4, value_size=64)
+        inserted = [req.key for req in workload.requests(2000)
+                    if req.op is Operation.INSERT]
+        assert inserted == sorted(inserted)
+        assert inserted[0] == key_name(100)
+
+    def test_reads_skew_to_latest(self):
+        workload = workload_d(1000, seed=5, value_size=64)
+        reads = [int(req.key[4:]) for req in workload.requests(8000)
+                 if req.op is Operation.READ]
+        newest_decile = sum(1 for idx in reads if idx >= 0.9 * 1000)
+        assert newest_decile / len(reads) > 0.3
+
+    def test_reads_always_hit_existing_records(self):
+        workload = workload_d(50, seed=6, value_size=64)
+        count = 50
+        for req in workload.requests(3000):
+            if req.op is Operation.INSERT:
+                count += 1
+            else:
+                assert int(req.key[4:]) < count
+
+    def test_invalid_read_proportion(self):
+        from repro.workloads.ycsb import LatestWorkload
+        with pytest.raises(ConfigurationError):
+            LatestWorkload(10, read_proportion=1.5)
+
+
+class TestWorkloadDAgainstWaffle:
+    def test_insert_heavy_run_keeps_invariants(self):
+        n = 300
+        config = WaffleConfig(n=n, b=24, r=10, f_d=6, d=150, c=40,
+                              value_size=128, seed=7)
+        workload = workload_d(n, seed=8, value_size=100)
+        items = dict(workload.initial_records())
+        trace = workload.trace(1500)
+        measurement, datastore = run_waffle_with_inserts(
+            config, items, trace, CostModel(), record=True)
+        assert measurement.extra["inserted"] > 0
+        assert datastore.proxy.real_count == \
+            n + measurement.extra["inserted"]
+        verify_storage_invariants(datastore.recorder.records)
+        # Inserted keys are readable.
+        from repro.core.batch import ClientRequest
+        inserted_key = key_name(n)  # the first insert
+        response = datastore.execute_batch([
+            ClientRequest(op=Operation.READ, key=inserted_key)])[0]
+        assert response.value  # non-empty payload
