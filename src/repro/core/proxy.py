@@ -56,6 +56,9 @@ __all__ = ["RoundStats", "WaffleProxy"]
 
 _DUMMY_PREFIX = "\x00dummy:"
 
+#: Cache-miss sentinel for single-lookup reads (values may be any bytes).
+_MISS = object()
+
 
 @dataclass(slots=True)
 class RoundStats:
@@ -161,13 +164,16 @@ class WaffleProxy:
         for key in cached_keys:
             self.cache.put(key, items[key])
 
-        # Remaining reals and all dummies, shuffled, encoded, loaded.
-        outsourced: list[tuple[str, bytes]] = []
+        # Remaining reals and all dummies, shuffled, encoded, loaded.  Ids
+        # and ciphertexts are produced by the batched crypto kernels in one
+        # pass each over the N - C + D outsourced objects.
         for key in server_keys:
             self._real_index.mark_server_resident(key)
-            outsourced.append((self._encode_id(key, 0), self._encrypt(items[key])))
-        for key in dummy_keys:
-            outsourced.append((self._encode_id(key, 0), self._encrypt(self._dummy_payload())))
+        load_keys = server_keys + dummy_keys
+        values = [items[key] for key in server_keys]
+        values.extend(self._dummy_payload() for _ in dummy_keys)
+        sids = self._encode_ids([(key, 0) for key in load_keys])
+        outsourced = list(zip(sids, self.keychain.cipher.encrypt_many(values)))
         self._rng.shuffle(outsourced)
         self.store.multi_put(outsourced)
         self._initialized = True
@@ -180,6 +186,14 @@ class WaffleProxy:
         if self.id_log is not None:
             self.id_log[sid] = key
         return sid
+
+    def _encode_ids(self, pairs: list[tuple[str, int]]) -> list[str]:
+        """Batched :meth:`_encode_id` over ``(key, timestamp)`` pairs."""
+        sids = self.keychain.prf.derive_many(pairs)
+        if self.id_log is not None:
+            for sid, (key, _) in zip(sids, pairs):
+                self.id_log[sid] = key
+        return sids
 
     def _encrypt(self, value: bytes) -> bytes:
         return self.keychain.cipher.encrypt(value)
@@ -233,8 +247,9 @@ class WaffleProxy:
             if key not in real_index:
                 raise ProtocolError(f"request for unknown key: {key!r}")
             if request.op is Operation.READ:
-                if key in self.cache:
-                    cli_resp[request.request_id] = self.cache.get(key)
+                value = self.cache.get_if_present(key, _MISS)
+                if value is not _MISS:
+                    cli_resp[request.request_id] = value
                     stats.cache_hits += 1
                     stats.cache_ops += 1
                 else:
@@ -250,12 +265,14 @@ class WaffleProxy:
                 cli_resp[request.request_id] = request.value
 
         read_batch: dict[str, str] = {}  # storage id -> plaintext key
+        dedup_pairs = [(key, real_index.timestamp(key)) for key in dedup]
         for key in dedup:
-            read_batch[self._get_index(key)] = key
             real_index.set_timestamp(key, self.ts)
             real_index.mark_cached(key)
-            stats.prf_evals += 1
-            stats.index_ops += 2
+        for sid, key in zip(self._encode_ids(dedup_pairs), dedup):
+            read_batch[sid] = key
+        stats.prf_evals += len(dedup)
+        stats.index_ops += 2 * len(dedup)
 
         # Deleted server-resident keys are force-read this round so their
         # ids leave the server (they consume fake-real slots below).
@@ -276,21 +293,25 @@ class WaffleProxy:
 
         # Fake queries on dummy objects (lines 20-23).  Retiring dummies
         # (freeing slots for inserts) are read but will not be rewritten.
-        retired_dummies: set[str] = set()
+        # The f_D least-recently-read dummies are detached from the
+        # selection tree in one batched descent; ids derive from their
+        # still-stored timestamps in one PRF pass.
         dummy_budget = min(cfg.f_d, len(dummy_index))
-        for i in range(dummy_budget):
-            key = dummy_index.min_timestamp_key()
-            read_batch[self._get_index(key)] = key
-            stats.prf_evals += 1
-            if i < len(inserts):
-                dummy_index.swap_out(key)
-                retired_dummies.add(key)
-            else:
-                dummy_index.record_access(key, self.ts)
-            stats.index_ops += 1
-            stats.fake_dummy_reads += 1
-        if len(inserts) > len(retired_dummies):
+        dummy_sel = dummy_index.take_min_keys(dummy_budget)
+        if len(inserts) > len(dummy_sel):
             raise ProtocolError("insert queue exceeded available dummy reads")
+        dummy_pairs = [
+            (key, dummy_index.stored_timestamp(key)) for key in dummy_sel
+        ]
+        for sid, key in zip(self._encode_ids(dummy_pairs), dummy_sel):
+            read_batch[sid] = key
+        retired_dummies = set(dummy_sel[: len(inserts)])
+        for key in dummy_sel[: len(inserts)]:
+            dummy_index.retire(key)
+        dummy_index.record_access_many(dummy_sel[len(inserts):], self.ts)
+        stats.prf_evals += len(dummy_sel)
+        stats.index_ops += len(dummy_sel)
+        stats.fake_dummy_reads += len(dummy_sel)
         for key, value in inserts:
             real_index.add_key(key, self.ts, server_resident=False)
             self.cache.put(key, value)
@@ -303,29 +324,42 @@ class WaffleProxy:
         if f_r < 0:
             raise ProtocolError("batch overflow: r + f_D exceeds B")
         dropped_reads: set[str] = set()
-        for i in range(f_r):
-            if forced_reads:
-                key = forced_reads.pop()
-                read_batch[self._get_index(key)] = key
-                real_index.drop_key(key)
-                dropped_reads.add(key)
-                stats.prf_evals += 1
-                stats.index_ops += 1
-                continue
-            if real_index.server_resident_count == 0:
+        # Forced deletes consume fake-real slots first (the scalar loop
+        # popped them from the end of the list, one per slot).
+        forced_sel = [forced_reads.pop() for _ in range(min(len(forced_reads), f_r))]
+        forced_pairs = [(key, real_index.timestamp(key)) for key in forced_sel]
+        for sid, key in zip(self._encode_ids(forced_pairs), forced_sel):
+            read_batch[sid] = key
+            real_index.drop_key(key)
+            dropped_reads.add(key)
+        stats.prf_evals += len(forced_sel)
+        stats.index_ops += len(forced_sel)
+
+        remaining = f_r - len(forced_sel)
+        if remaining and cfg.fake_real_policy == "least_recent":
+            if remaining > real_index.server_resident_count:
                 raise ProtocolError(
                     "no server-resident real objects left for fake queries; "
                     "N - C is too small for this configuration"
                 )
-            if cfg.fake_real_policy == "least_recent":
-                key = real_index.min_timestamp_key()
-            else:  # "uniform": the Challenge-2 ablation
+            fake_pairs = real_index.pop_min_keys(remaining, self.ts)
+            for sid, (key, _) in zip(self._encode_ids(fake_pairs), fake_pairs):
+                read_batch[sid] = key
+            stats.prf_evals += remaining
+            stats.index_ops += 2 * remaining
+        elif remaining:  # "uniform": the Challenge-2 ablation draws one
+            for _ in range(remaining):  # rng value per pick, so stays scalar
+                if real_index.server_resident_count == 0:
+                    raise ProtocolError(
+                        "no server-resident real objects left for fake queries; "
+                        "N - C is too small for this configuration"
+                    )
                 key = real_index.random_resident_key(self._rng)
-            read_batch[self._get_index(key)] = key
-            real_index.set_timestamp(key, self.ts)
-            real_index.mark_cached(key)
-            stats.prf_evals += 1
-            stats.index_ops += 2
+                read_batch[self._get_index(key)] = key
+                real_index.set_timestamp(key, self.ts)
+                real_index.mark_cached(key)
+                stats.prf_evals += 1
+                stats.index_ops += 2
         if forced_reads:
             raise ProtocolError("delete queue exceeded fake-real budget")
         stats.unique_real_reads = r
@@ -342,34 +376,51 @@ class WaffleProxy:
         # "The algorithm first evicts an object from the cache before
         # adding a new object" (lines 37-41): interleaving eviction with
         # insertion keeps the transient cache at C + R, never C + B.
-        write_batch: list[tuple[str, bytes]] = []
+        #
+        # Crypto is deferred: the loop plans (key, id_timestamp, plaintext)
+        # triples in emission order, then one derive_many + encrypt_many
+        # pass produces the actual write batch.  Dummy payloads are still
+        # drawn at plan time so the proxy rng stream matches the scalar
+        # path draw-for-draw (the recorded trace is identical).
+        write_plan: list[tuple[str, int, bytes]] = []
         written_this_phase: set[str] = set()
 
         def evict_one() -> None:
             evicted_key, evicted_value = self.cache.evict()
             real_index.mark_server_resident(evicted_key)
             written_this_phase.add(evicted_key)
-            write_batch.append(
-                (self._get_index(evicted_key), self._encrypt(evicted_value))
+            write_plan.append(
+                (evicted_key, real_index.timestamp(evicted_key), evicted_value)
             )
             stats.prf_evals += 1
             stats.encryptions += 1
             stats.cache_ops += 1
             stats.index_ops += 1
 
-        for sid, blob in zip(sids, blobs):
+        # Every fetched real object decrypts in one batched kernel pass
+        # (dummy payloads are random bytes and never inspected).
+        real_positions = [
+            pos for pos, sid in enumerate(sids)
+            if not self._is_dummy(read_batch[sid])
+        ]
+        plaintexts = self.keychain.cipher.decrypt_many(
+            [blobs[pos] for pos in real_positions]
+        )
+        decrypted = dict(zip(real_positions, plaintexts))
+        stats.decryptions += len(real_positions)
+
+        for pos, sid in enumerate(sids):
             key = read_batch[sid]
             if self._is_dummy(key):
                 if key in retired_dummies:
                     continue  # slot freed for an inserted real object
-                write_batch.append(
-                    (self._get_index(key), self._encrypt(self._dummy_payload()))
+                write_plan.append(
+                    (key, dummy_index.stored_timestamp(key), self._dummy_payload())
                 )
                 stats.prf_evals += 1
                 stats.encryptions += 1
                 continue
-            value = self._decrypt(blob)
-            stats.decryptions += 1
+            value = decrypted[pos]
             if key in dropped_reads:
                 continue  # deleted key: fetched only to clear its id
             for request_id, need_resp in dedup.get(key, ()):
@@ -380,9 +431,9 @@ class WaffleProxy:
                 # evicted back to the server earlier in this phase; do not
                 # resurrect the stale fetched copy.
                 continue
-            if key in self.cache:
-                self.cache.touch(key)  # written this batch; cache value wins
-            else:
+            if not self.cache.touch_if_present(key):
+                # touch_if_present: a hit means the key was written this
+                # batch and the cached value wins; recency still bumps.
                 if len(self.cache) >= cfg.c:
                     evict_one()
                 self.cache.put(key, value)
@@ -390,9 +441,7 @@ class WaffleProxy:
 
         for key in newborn_dummies:
             dummy_index.swap_in(key, self.ts)
-            write_batch.append(
-                (self._get_index(key), self._encrypt(self._dummy_payload()))
-            )
+            write_plan.append((key, self.ts, self._dummy_payload()))
             stats.prf_evals += 1
             stats.encryptions += 1
 
@@ -403,6 +452,11 @@ class WaffleProxy:
         while self.cache.over_capacity():
             evict_one()
 
+        write_ids = self._encode_ids([(key, ts) for key, ts, _ in write_plan])
+        ciphertexts = self.keychain.cipher.encrypt_many(
+            [value for _, _, value in write_plan]
+        )
+        write_batch = list(zip(write_ids, ciphertexts))
         self.store.multi_put(write_batch)
         stats.server_writes = len(write_batch)
         dummy_index.end_round(self.ts)

@@ -90,6 +90,23 @@ class RealObjectIndex:
         _, key = self._tree.min()
         return key
 
+    def pop_min_keys(self, count: int, ts: int) -> list[tuple[str, int]]:
+        """Batched fake-query selection: take the ``count`` least-recently-
+        accessed resident keys, stamp each with ``ts`` and mark it cached.
+
+        Returns ``(key, previous_timestamp)`` pairs in selection order —
+        the previous timestamp is what ``GetIndex`` must feed the PRF.
+        Equivalent to ``count`` rounds of :meth:`min_timestamp_key` +
+        :meth:`set_timestamp` + :meth:`mark_cached` (including the arrival
+        counter, so eviction FIFO tiebreaks are unchanged), but the tree
+        is descended once instead of ``3·count`` times.
+        """
+        selected: list[tuple[str, int]] = []
+        for _, key in self._tree.pop_min_many(count):
+            selected.append((key, self._timestamps[key]))
+            self._timestamps[key] = ts
+            self._arrivals += 1
+        return selected
 
     def random_resident_key(self, rng) -> str:
         """Uniformly random server-resident key (the Challenge-2 ablation:
@@ -144,6 +161,31 @@ class DummyObjectIndex:
         """BST.getMinTimestampObj(dummy)."""
         _, key = self._tree.min()
         return key
+
+    def take_min_keys(self, count: int) -> list[str]:
+        """Batched BST.getMinTimestampObj: detach the ``count`` least keys.
+
+        Stored timestamps are untouched (``GetIndex`` still needs them for
+        the ids being read), and the keys leave the selection tree, so a
+        dummy cannot be selected twice in one batch.  Callers must follow
+        up with :meth:`record_access_many` (rewritten dummies) and/or
+        :meth:`retire` (dummies swapped out for inserted real objects).
+        """
+        return [key for _, key in self._tree.pop_min_many(count)]
+
+    def record_access_many(self, keys, ts: int) -> None:
+        """Batched :meth:`record_access` over keys already detached by
+        :meth:`take_min_keys`; tiebreak draws happen in ``keys`` order, so
+        the selection sequence matches the one-at-a-time path exactly."""
+        for key in keys:
+            self._stored_ts[key] = ts
+            self._tree.insert(key, (ts, self._rng.random(), key))
+        self._accessed_since_reset += len(keys)
+
+    def retire(self, key: str) -> int:
+        """Forget a dummy already detached by :meth:`take_min_keys` (insert
+        support swaps it for a real key); returns its stored timestamp."""
+        return self._stored_ts.pop(key)
 
     def record_access(self, key: str, ts: int) -> None:
         """The dummy was just read; its next storage id embeds ``ts``.

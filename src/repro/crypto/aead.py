@@ -15,6 +15,21 @@ randomized ciphertexts (re-encrypting the same value yields a fresh
 ciphertext, so written-back objects are unlinkable) and tamper detection.
 Ciphertext length depends only on plaintext length, matching the paper's
 equal-length-values assumption.
+
+Hot path: every batch round encrypts and decrypts ``~B`` values of
+``value_size`` bytes, so the kernels avoid per-byte Python:
+
+* the keystream XOR is one big-int XOR (``int.from_bytes ^ int.from_bytes``)
+  instead of a byte-at-a-time generator;
+* the keystream's ``enc_key`` prefix is absorbed into a SHA-256 state once
+  per cipher and the ``enc_key || nonce`` prefix once per message, with
+  ``.copy()`` per counter block;
+* the MAC's keyed state is precomputed once and ``.copy()``-ed per message.
+
+All three transformations are bit-compatible with the naive forms (pinned
+by the known-answer tests), so ciphertexts written by older builds still
+decrypt.  :meth:`encrypt_many`/:meth:`decrypt_many` amortize per-call
+dispatch across a whole batch.
 """
 
 from __future__ import annotations
@@ -22,14 +37,46 @@ from __future__ import annotations
 import hashlib
 import hmac
 import os
+from typing import Iterable, Sequence
 
 from repro.errors import IntegrityError
+
+try:  # vectorized XOR when available; the big-int path needs nothing
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
 
 __all__ = ["AuthenticatedCipher"]
 
 _NONCE_LEN = 16
 _TAG_LEN = 32
 _BLOCK_LEN = 32  # SHA-256 output size drives the keystream block size
+
+#: Big-int XOR wins below this length (numpy's fixed call overhead), the
+#: vectorized byte XOR above it.
+_NP_XOR_CUTOFF = 128
+
+#: Lazily grown table of pre-encoded keystream counters (shared: counter
+#: encoding is key/nonce independent).
+_COUNTER_BYTES: list[bytes] = [i.to_bytes(8, "big") for i in range(64)]
+
+
+def _xor_bytes(data: bytes, stream: bytes) -> bytes:
+    """XOR two equal-length byte strings without a per-byte Python loop."""
+    if _np is not None and len(data) >= _NP_XOR_CUTOFF:
+        return (
+            _np.frombuffer(data, dtype=_np.uint8)
+            ^ _np.frombuffer(stream, dtype=_np.uint8)
+        ).tobytes()
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    ).to_bytes(len(data), "big")
+
+
+def _counters(count: int) -> list[bytes]:
+    while len(_COUNTER_BYTES) < count:
+        _COUNTER_BYTES.append(len(_COUNTER_BYTES).to_bytes(8, "big"))
+    return _COUNTER_BYTES[:count]
 
 
 class AuthenticatedCipher:
@@ -46,7 +93,7 @@ class AuthenticatedCipher:
         by tests for deterministic nonces.  Defaults to ``os.urandom``.
     """
 
-    __slots__ = ("_enc_key", "_mac_key", "_randbytes")
+    __slots__ = ("_enc_key", "_mac_key", "_randbytes", "_stream_root", "_mac_keyed")
 
     def __init__(self, enc_key: bytes, mac_key: bytes, rng=None) -> None:
         if not enc_key or not mac_key:
@@ -56,21 +103,47 @@ class AuthenticatedCipher:
         self._enc_key = bytes(enc_key)
         self._mac_key = bytes(mac_key)
         self._randbytes = rng.randbytes if rng is not None else os.urandom
+        # SHA-256 state with enc_key already absorbed; copied per message.
+        self._stream_root = hashlib.sha256(self._enc_key)
+        # Keyed-but-empty HMAC state; copied per message (skips re-keying).
+        self._mac_keyed = hmac.new(self._mac_key, None, hashlib.sha256)
+
+    def __getstate__(self):
+        # The cached digest states are C objects and cannot pickle; the
+        # keys fully determine them (checkpoint shipping, ha/).
+        return self._enc_key, self._mac_key, self._randbytes
+
+    def __setstate__(self, state) -> None:
+        self._enc_key, self._mac_key, self._randbytes = state
+        self._stream_root = hashlib.sha256(self._enc_key)
+        self._mac_keyed = hmac.new(self._mac_key, None, hashlib.sha256)
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
+        if length <= 0:
+            return b""
+        prefix = self._stream_root.copy()
+        prefix.update(nonce)
+        copy = prefix.copy
         blocks = []
-        for counter in range((length + _BLOCK_LEN - 1) // _BLOCK_LEN):
-            block_input = self._enc_key + nonce + counter.to_bytes(8, "big")
-            blocks.append(hashlib.sha256(block_input).digest())
-        return b"".join(blocks)[:length]
+        append = blocks.append
+        for counter in _counters((length + _BLOCK_LEN - 1) // _BLOCK_LEN):
+            block = copy()
+            block.update(counter)
+            append(block.digest())
+        stream = b"".join(blocks)
+        return stream if len(stream) == length else stream[:length]
+
+    def _tag(self, nonce: bytes, body: bytes) -> bytes:
+        mac = self._mac_keyed.copy()
+        mac.update(nonce)
+        mac.update(body)
+        return mac.digest()
 
     def encrypt(self, plaintext: bytes) -> bytes:
         """Return ``nonce || ciphertext || tag`` for ``plaintext``."""
         nonce = self._randbytes(_NONCE_LEN)
-        stream = self._keystream(nonce, len(plaintext))
-        body = bytes(p ^ s for p, s in zip(plaintext, stream))
-        tag = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
-        return nonce + body + tag
+        body = _xor_bytes(plaintext, self._keystream(nonce, len(plaintext)))
+        return nonce + body + self._tag(nonce, body)
 
     def decrypt(self, blob: bytes) -> bytes:
         """Verify and decrypt ``blob``; raise :class:`IntegrityError` on tamper."""
@@ -79,11 +152,43 @@ class AuthenticatedCipher:
         nonce = blob[:_NONCE_LEN]
         body = blob[_NONCE_LEN:-_TAG_LEN]
         tag = blob[-_TAG_LEN:]
-        expected = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
-        if not hmac.compare_digest(tag, expected):
+        if not hmac.compare_digest(tag, self._tag(nonce, body)):
             raise IntegrityError("authentication tag mismatch")
-        stream = self._keystream(nonce, len(body))
-        return bytes(c ^ s for c, s in zip(body, stream))
+        return _xor_bytes(body, self._keystream(nonce, len(body)))
+
+    def encrypt_many(self, plaintexts: Iterable[bytes]) -> list[bytes]:
+        """Batched :meth:`encrypt`; blob ``i`` encrypts ``plaintexts[i]``.
+
+        Nonces are drawn in input order, so under a deterministic rng the
+        batch form is byte-identical to looping :meth:`encrypt`.
+        """
+        randbytes = self._randbytes
+        keystream = self._keystream
+        tag = self._tag
+        out = []
+        append = out.append
+        for plaintext in plaintexts:
+            nonce = randbytes(_NONCE_LEN)
+            body = _xor_bytes(plaintext, keystream(nonce, len(plaintext)))
+            append(nonce + body + tag(nonce, body))
+        return out
+
+    def decrypt_many(self, blobs: Sequence[bytes]) -> list[bytes]:
+        """Batched :meth:`decrypt`; raises on the first tampered blob."""
+        compare = hmac.compare_digest
+        keystream = self._keystream
+        tag = self._tag
+        out = []
+        append = out.append
+        for blob in blobs:
+            if len(blob) < _NONCE_LEN + _TAG_LEN:
+                raise IntegrityError("ciphertext too short")
+            nonce = blob[:_NONCE_LEN]
+            body = blob[_NONCE_LEN:-_TAG_LEN]
+            if not compare(blob[-_TAG_LEN:], tag(nonce, body)):
+                raise IntegrityError("authentication tag mismatch")
+            append(_xor_bytes(body, keystream(nonce, len(body))))
+        return out
 
     def ciphertext_overhead(self) -> int:
         """Bytes added to every plaintext (nonce + tag)."""

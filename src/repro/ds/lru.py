@@ -21,6 +21,10 @@ from typing import Iterator
 
 __all__ = ["LruCache"]
 
+#: Internal miss marker distinguishable from any cached value (including
+#: ``None``/``b""``); callers may pass their own ``default`` instead.
+_MISSING = object()
+
 
 class LruCache:
     """An LRU map with explicit eviction.
@@ -51,6 +55,27 @@ class LruCache:
         value = self._entries[key]
         self._entries.move_to_end(key)
         return value
+
+    def get_if_present(self, key, default=None):
+        """Single-lookup :meth:`get`: value (recency bumped) or ``default``.
+
+        Replaces the ``key in cache`` + ``cache.get(key)`` double descent
+        on the proxy's read path.  A miss performs exactly one hash lookup
+        and never raises; recency is only touched on a hit, so peek-vs-get
+        semantics (and hence the β eviction order) are unchanged.
+        """
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._entries.move_to_end(key)
+        return value
+
+    def touch_if_present(self, key) -> bool:
+        """Mark ``key`` most recently used if cached; report whether it was."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        return False
 
     def peek(self, key):
         """Return the cached value without touching recency."""

@@ -206,6 +206,38 @@ class Treap:
         self.remove(entry)
         return sort_key, entry
 
+    def pop_min_many(self, count: int) -> list[tuple]:
+        """Remove and return the ``count`` smallest ``(sort_key, entry)`` pairs.
+
+        One ``select`` + one ``split`` detaches the whole prefix in
+        ``O(log n + count)``, versus ``count`` full root-to-leaf descents
+        for repeated :meth:`pop_min` — the treap half of the proxy's
+        batched fake-query selection.  Results are in ascending sort-key
+        order, exactly the sequence repeated :meth:`pop_min` would yield.
+        """
+        if count <= 0:
+            return []
+        if count >= len(self._position):
+            detached, self._root = self._root, None
+        else:
+            # Sort keys are unique, so everything strictly below the
+            # (count+1)-th smallest key is exactly the count-element prefix.
+            boundary, _ = self.select(count)
+            detached, self._root = self._split(self._root, boundary)
+        removed: list[tuple] = []
+        stack: list[_Node] = []
+        node = detached
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            removed.append((node.sort_key, node.entry))
+            node = node.right
+        for _, entry in removed:
+            del self._position[entry]
+        return removed
+
     def select(self, rank: int):
         """Return ``(sort_key, entry)`` of the ``rank``-th smallest element.
 

@@ -1,0 +1,496 @@
+"""Wall-clock performance harness: real seconds, not simulated ones.
+
+Everything else in :mod:`repro.sim` charges *simulated* time so the
+paper's figures do not measure CPython (DESIGN.md §1).  This module is
+the deliberate exception: the ROADMAP's north star is a proxy that also
+runs fast in real time, so we need a measurement of what the hardware
+actually does per round — and a scalar reference implementation to hold
+the batched kernels accountable against.
+
+Three layers:
+
+* **Scalar reference kernels** — :class:`ScalarPrf` and
+  :class:`ScalarCipher` preserve the original one-call-at-a-time
+  implementations (fresh ``hmac.new`` per derivation, per-byte generator
+  XOR).  They are bit-compatible with the optimized kernels and expose
+  the same ``derive_many``/``encrypt_many``/``decrypt_many`` surface, so
+  an unmodified :class:`~repro.core.proxy.WaffleProxy` runs on either —
+  which is both the equivalence oracle and the benchmark baseline.
+* **Kernel microbenchmarks** — :func:`bench_prf_kernel`,
+  :func:`bench_aead_kernel`, :func:`bench_index_kernel`,
+  :func:`bench_cache_kernel` time one kernel in isolation at a
+  representative round shape.
+* **End-to-end rounds** — :func:`bench_rounds` drives a real proxy
+  against an in-memory store and reports rounds/sec and µs/request, with
+  a PRF/AEAD/other breakdown captured by timing wrappers, and
+  :func:`compare_traces` checks that the adversary-visible access
+  sequence is independent of which kernel set ran.
+
+:func:`run_wallclock_benchmark` bundles all of it into one
+machine-readable dict (``benchmarks/bench_wallclock.py`` writes it to
+``BENCH_wallclock.json`` so successive PRs accumulate a trajectory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import random
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro.core.batch import ClientRequest
+from repro.core.config import WaffleConfig
+from repro.core.proxy import WaffleProxy
+from repro.crypto.keys import KeyChain
+from repro.ds.lru import LruCache
+from repro.ds.treap import Treap
+from repro.errors import IntegrityError
+from repro.storage.memory import InMemoryStore
+from repro.storage.recording import RecordingStore
+from repro.workloads.trace import Operation
+
+__all__ = [
+    "ScalarCipher",
+    "ScalarPrf",
+    "bench_aead_kernel",
+    "bench_cache_kernel",
+    "bench_index_kernel",
+    "bench_prf_kernel",
+    "bench_rounds",
+    "compare_traces",
+    "run_wallclock_benchmark",
+    "scalar_keychain",
+]
+
+_NONCE_LEN = 16
+_TAG_LEN = 32
+_BLOCK_LEN = 32
+_DIGEST_HEX_LEN = 32
+
+
+# ----------------------------------------------------------------------
+# scalar reference kernels (the pre-optimization implementations)
+# ----------------------------------------------------------------------
+class ScalarPrf:
+    """The original per-call PRF: a fresh ``hmac.new`` every derivation.
+
+    Bit-compatible with :class:`repro.crypto.prf.Prf`; kept as the
+    benchmark baseline and the equivalence oracle for the cached-HMAC
+    fast path.
+    """
+
+    __slots__ = ("_secret",)
+
+    def __init__(self, secret: bytes) -> None:
+        if not secret:
+            raise ValueError("PRF secret must be non-empty")
+        self._secret = bytes(secret)
+
+    def derive(self, key: str, timestamp: int) -> str:
+        message = key.encode("utf-8") + b"\x00" + str(int(timestamp)).encode()
+        digest = hmac.new(self._secret, message, hashlib.sha256).hexdigest()
+        return digest[:_DIGEST_HEX_LEN]
+
+    def derive_many(self, pairs: Iterable[tuple[str, int]]) -> list[str]:
+        return [self.derive(key, timestamp) for key, timestamp in pairs]
+
+    def derive_bytes(self, data: bytes) -> bytes:
+        return hmac.new(self._secret, data, hashlib.sha256).digest()
+
+
+class ScalarCipher:
+    """The original AEAD: per-block ``sha256(key||nonce||ctr)`` with a
+    per-byte generator XOR.  Bit-compatible with
+    :class:`repro.crypto.aead.AuthenticatedCipher`."""
+
+    __slots__ = ("_enc_key", "_mac_key", "_randbytes")
+
+    def __init__(self, enc_key: bytes, mac_key: bytes, rng=None) -> None:
+        if not enc_key or not mac_key:
+            raise ValueError("cipher keys must be non-empty")
+        if enc_key == mac_key:
+            raise ValueError("encryption and MAC keys must be independent")
+        self._enc_key = bytes(enc_key)
+        self._mac_key = bytes(mac_key)
+        self._randbytes = rng.randbytes if rng is not None else os.urandom
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = []
+        for counter in range((length + _BLOCK_LEN - 1) // _BLOCK_LEN):
+            block_input = self._enc_key + nonce + counter.to_bytes(8, "big")
+            blocks.append(hashlib.sha256(block_input).digest())
+        return b"".join(blocks)[:length]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = self._randbytes(_NONCE_LEN)
+        stream = self._keystream(nonce, len(plaintext))
+        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
+        return nonce + body + tag
+
+    def decrypt(self, blob: bytes) -> bytes:
+        if len(blob) < _NONCE_LEN + _TAG_LEN:
+            raise IntegrityError("ciphertext too short")
+        nonce = blob[:_NONCE_LEN]
+        body = blob[_NONCE_LEN:-_TAG_LEN]
+        tag = blob[-_TAG_LEN:]
+        expected = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError("authentication tag mismatch")
+        stream = self._keystream(nonce, len(body))
+        return bytes(c ^ s for c, s in zip(body, stream))
+
+    def encrypt_many(self, plaintexts: Iterable[bytes]) -> list[bytes]:
+        return [self.encrypt(plaintext) for plaintext in plaintexts]
+
+    def decrypt_many(self, blobs: Sequence[bytes]) -> list[bytes]:
+        return [self.decrypt(blob) for blob in blobs]
+
+    def ciphertext_overhead(self) -> int:
+        return _NONCE_LEN + _TAG_LEN
+
+
+def scalar_keychain(seed: int, rng=None) -> KeyChain:
+    """A :class:`KeyChain` whose kernels are the scalar references.
+
+    Key material is identical to ``KeyChain.from_seed(seed)`` — only the
+    kernel implementations differ — so the two chains produce identical
+    storage ids and mutually decryptable ciphertexts.
+    """
+    chain = KeyChain.from_seed(seed, rng=rng)
+    chain.prf = ScalarPrf(chain.prf._secret)
+    chain.cipher = ScalarCipher(
+        enc_key=chain.cipher._enc_key,
+        mac_key=chain.cipher._mac_key,
+        rng=rng,
+    )
+    return chain
+
+
+# ----------------------------------------------------------------------
+# timing utilities
+# ----------------------------------------------------------------------
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class _TimedPrf:
+    """Pass-through PRF accumulating wall-clock seconds spent inside."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.seconds = 0.0
+
+    def derive(self, key, timestamp):
+        start = time.perf_counter()
+        out = self._inner.derive(key, timestamp)
+        self.seconds += time.perf_counter() - start
+        return out
+
+    def derive_many(self, pairs):
+        start = time.perf_counter()
+        out = self._inner.derive_many(pairs)
+        self.seconds += time.perf_counter() - start
+        return out
+
+    def derive_bytes(self, data):
+        return self._inner.derive_bytes(data)
+
+
+class _TimedCipher:
+    """Pass-through cipher accumulating wall-clock seconds spent inside."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.seconds = 0.0
+
+    def _timed(self, method, arg):
+        start = time.perf_counter()
+        out = method(arg)
+        self.seconds += time.perf_counter() - start
+        return out
+
+    def encrypt(self, plaintext):
+        return self._timed(self._inner.encrypt, plaintext)
+
+    def decrypt(self, blob):
+        return self._timed(self._inner.decrypt, blob)
+
+    def encrypt_many(self, plaintexts):
+        return self._timed(self._inner.encrypt_many, plaintexts)
+
+    def decrypt_many(self, blobs):
+        return self._timed(self._inner.decrypt_many, blobs)
+
+    def ciphertext_overhead(self):
+        return self._inner.ciphertext_overhead()
+
+
+# ----------------------------------------------------------------------
+# kernel microbenchmarks
+# ----------------------------------------------------------------------
+def bench_prf_kernel(batch: int = 1000, repeats: int = 3) -> dict:
+    """Scalar vs batched storage-id derivation for one read batch."""
+    secret = b"wallclock-prf-secret"
+    from repro.crypto.prf import Prf
+
+    scalar, batched = ScalarPrf(secret), Prf(secret)
+    pairs = [(f"user{i:08d}", i % 97) for i in range(batch)]
+    assert scalar.derive_many(pairs) == batched.derive_many(pairs)
+    scalar_s = _best_of(lambda: scalar.derive_many(pairs), repeats)
+    batched_s = _best_of(lambda: batched.derive_many(pairs), repeats)
+    return {
+        "kernel": "prf",
+        "batch": batch,
+        "scalar_ops_per_sec": batch / scalar_s,
+        "batched_ops_per_sec": batch / batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def bench_aead_kernel(batch: int = 64, value_size: int = 1024,
+                      repeats: int = 3) -> dict:
+    """Scalar vs batched encrypt+decrypt for one write+read batch."""
+    from repro.crypto.aead import AuthenticatedCipher
+
+    keys = {"enc_key": b"wallclock-enc-key", "mac_key": b"wallclock-mac-key"}
+    scalar = ScalarCipher(rng=random.Random(7), **keys)
+    batched = AuthenticatedCipher(rng=random.Random(7), **keys)
+    values = [os.urandom(value_size) for _ in range(batch)]
+    assert scalar.encrypt_many(values) == batched.encrypt_many(values)
+
+    scalar_enc = _best_of(lambda: scalar.encrypt_many(values), repeats)
+    batched_enc = _best_of(lambda: batched.encrypt_many(values), repeats)
+    blobs = batched.encrypt_many(values)
+    scalar_dec = _best_of(lambda: scalar.decrypt_many(blobs), repeats)
+    batched_dec = _best_of(lambda: batched.decrypt_many(blobs), repeats)
+    return {
+        "kernel": "aead",
+        "batch": batch,
+        "value_size": value_size,
+        "scalar_encrypt_ops_per_sec": batch / scalar_enc,
+        "batched_encrypt_ops_per_sec": batch / batched_enc,
+        "encrypt_speedup": scalar_enc / batched_enc,
+        "scalar_decrypt_ops_per_sec": batch / scalar_dec,
+        "batched_decrypt_ops_per_sec": batch / batched_dec,
+        "decrypt_speedup": scalar_dec / batched_dec,
+    }
+
+
+def bench_index_kernel(population: int = 4096, take: int = 256,
+                       repeats: int = 3) -> dict:
+    """Repeated ``pop_min`` vs one ``pop_min_many`` on a treap."""
+
+    def build() -> Treap:
+        tree = Treap(seed=11)
+        for i in range(population):
+            tree.insert(f"k{i:06d}", (i % 131, i, f"k{i:06d}"))
+        return tree
+
+    def scalar(tree: Treap) -> list:
+        return [tree.pop_min() for _ in range(take)]
+
+    def batched(tree: Treap) -> list:
+        return tree.pop_min_many(take)
+
+    assert scalar(build()) == batched(build())
+
+    def timed(pop) -> float:
+        # Trees are rebuilt outside the timed window: only the pops count.
+        best = float("inf")
+        for _ in range(repeats):
+            tree = build()
+            start = time.perf_counter()
+            pop(tree)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    scalar_s = timed(scalar)
+    batched_s = timed(batched)
+    return {
+        "kernel": "index",
+        "population": population,
+        "take": take,
+        "scalar_ops_per_sec": take / scalar_s,
+        "batched_ops_per_sec": take / batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def bench_cache_kernel(population: int = 4096, lookups: int = 4096,
+                       hit_fraction: float = 0.5, repeats: int = 3) -> dict:
+    """``in`` + ``get`` double descent vs single-lookup ``get_if_present``."""
+    cache = LruCache(population)
+    for i in range(population):
+        cache.put(f"k{i:06d}", b"v")
+    probe_rng = random.Random(3)
+    probes = [
+        f"k{probe_rng.randrange(population):06d}"
+        if probe_rng.random() < hit_fraction else f"m{probe_rng.randrange(population):06d}"
+        for _ in range(lookups)
+    ]
+
+    def scalar() -> int:
+        hits = 0
+        for key in probes:
+            if key in cache:
+                cache.get(key)
+                hits += 1
+        return hits
+
+    miss = object()
+
+    def batched() -> int:
+        hits = 0
+        for key in probes:
+            if cache.get_if_present(key, miss) is not miss:
+                hits += 1
+        return hits
+
+    assert scalar() == batched()
+    scalar_s = _best_of(scalar, repeats)
+    batched_s = _best_of(batched, repeats)
+    return {
+        "kernel": "cache",
+        "lookups": lookups,
+        "scalar_ops_per_sec": lookups / scalar_s,
+        "batched_ops_per_sec": lookups / batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# end-to-end rounds
+# ----------------------------------------------------------------------
+def _build_proxy(config: WaffleConfig, keychain: KeyChain,
+                 record: bool = False) -> WaffleProxy:
+    inner = InMemoryStore(write_once=True)
+    store = RecordingStore(inner) if record else inner
+    proxy = WaffleProxy(config, store, keychain=keychain,
+                        keep_round_stats=False)
+    items = {
+        f"user{i:08d}": (b"value-%08d" % i).ljust(config.value_size, b".")[: config.value_size]
+        for i in range(config.n)
+    }
+    proxy.initialize(items)
+    return proxy
+
+
+def _request_stream(config: WaffleConfig, rounds: int,
+                    seed: int) -> list[list[ClientRequest]]:
+    rng = random.Random(seed)
+    keys = [f"user{i:08d}" for i in range(config.n)]
+    batches = []
+    for _ in range(rounds):
+        batch = []
+        for _ in range(config.r):
+            key = keys[rng.randrange(config.n)]
+            if rng.random() < 0.3:
+                value = (b"write-%08d" % rng.randrange(10**8))
+                batch.append(ClientRequest(
+                    op=Operation.WRITE, key=key,
+                    value=value.ljust(config.value_size, b"_")[: config.value_size]))
+            else:
+                batch.append(ClientRequest(op=Operation.READ, key=key))
+        batches.append(batch)
+    return batches
+
+
+def bench_rounds(n: int = 2048, rounds: int = 30, seed: int = 99,
+                 scalar: bool = False) -> dict:
+    """Drive a real proxy for ``rounds`` batches and time each round.
+
+    ``scalar=True`` swaps the seed-era kernels in (same key material), so
+    the pair of runs quantifies the end-to-end effect of the batched fast
+    path alone.  The PRF/AEAD share of each round is measured by timing
+    wrappers; the remainder is index/cache/bookkeeping.
+    """
+    config = WaffleConfig.paper_defaults(n=n, seed=seed)
+    keychain = scalar_keychain(seed) if scalar else KeyChain.from_seed(seed)
+    proxy = _build_proxy(config, keychain)
+    prf_timer = _TimedPrf(proxy.keychain.prf)
+    cipher_timer = _TimedCipher(proxy.keychain.cipher)
+    proxy.keychain.prf = prf_timer
+    proxy.keychain.cipher = cipher_timer
+
+    batches = _request_stream(config, rounds, seed)
+    start = time.perf_counter()
+    for batch in batches:
+        proxy.handle_batch(batch)
+    elapsed = time.perf_counter() - start
+
+    requests = rounds * config.r
+    return {
+        "mode": "scalar" if scalar else "batched",
+        "n": n,
+        "b": config.b,
+        "r": config.r,
+        "value_size": config.value_size,
+        "rounds": rounds,
+        "seconds": elapsed,
+        "rounds_per_sec": rounds / elapsed,
+        "us_per_request": elapsed / requests * 1e6,
+        "breakdown_seconds": {
+            "prf": prf_timer.seconds,
+            "aead": cipher_timer.seconds,
+            "index_cache_other": max(0.0, elapsed - prf_timer.seconds
+                                     - cipher_timer.seconds),
+        },
+    }
+
+
+def compare_traces(n: int = 512, rounds: int = 12, seed: int = 31) -> dict:
+    """Run scalar-kernel and batched-kernel proxies on one fixed workload
+    and compare the adversary-visible access sequences and responses."""
+    digests = {}
+    for mode, chain in (("scalar", scalar_keychain(seed)),
+                        ("batched", KeyChain.from_seed(seed))):
+        config = WaffleConfig.paper_defaults(n=n, seed=seed)
+        proxy = _build_proxy(config, chain, record=True)
+        responses = hashlib.sha256()
+        for batch in _request_stream(config, rounds, seed):
+            for resp in proxy.handle_batch(batch):
+                responses.update(resp.key.encode() + b"\x00" + resp.value)
+        trace = hashlib.sha256()
+        for rec in proxy.store.records:
+            trace.update(
+                f"{rec.op}:{rec.storage_id}:{rec.round}:{rec.seq}\n".encode())
+        digests[mode] = {"trace": trace.hexdigest(),
+                         "responses": responses.hexdigest()}
+    digests["identical"] = digests["scalar"] == digests["batched"]
+    return digests
+
+
+def run_wallclock_benchmark(n: int = 2048, rounds: int = 30,
+                            repeats: int = 3) -> dict:
+    """The full wall-clock report consumed by ``bench_wallclock.py``."""
+    e2e_scalar = min(
+        (bench_rounds(n=n, rounds=rounds, scalar=True) for _ in range(repeats)),
+        key=lambda row: row["seconds"])
+    e2e_batched = min(
+        (bench_rounds(n=n, rounds=rounds, scalar=False) for _ in range(repeats)),
+        key=lambda row: row["seconds"])
+    return {
+        "schema": "repro.wallclock/1",
+        "kernels": {
+            "prf": bench_prf_kernel(repeats=repeats),
+            "aead": bench_aead_kernel(repeats=repeats),
+            "index": bench_index_kernel(repeats=repeats),
+            "cache": bench_cache_kernel(repeats=repeats),
+        },
+        "end_to_end": {
+            "scalar": e2e_scalar,
+            "batched": e2e_batched,
+            "rounds_per_sec_speedup": (
+                e2e_batched["rounds_per_sec"] / e2e_scalar["rounds_per_sec"]),
+        },
+        "trace_equivalence": compare_traces(),
+    }

@@ -4,10 +4,19 @@ A deployed Waffle's storage ids are PRF outputs; if an implementation
 change silently altered derivations, every outsourced object would
 become unreachable on upgrade.  These pins make such a change an
 explicit, reviewed decision instead of an accident.
+
+The batched fast-path kernels (cached-HMAC PRF, big-int-XOR AEAD) are
+additionally held byte-identical to the scalar seed implementations
+preserved in :mod:`repro.sim.perf` — the equivalence that lets the proxy
+swap kernels without the server ever noticing.
 """
 
+import random
+
+from repro.crypto.aead import AuthenticatedCipher
 from repro.crypto.keys import KeyChain
 from repro.crypto.prf import Prf
+from repro.sim.perf import ScalarCipher, ScalarPrf
 
 
 class TestPrfKnownAnswers:
@@ -37,3 +46,66 @@ class TestPrfKnownAnswers:
         blob = KeyChain.from_seed(777).cipher.encrypt(b"archived-value")
         fresh = KeyChain.from_seed(777)
         assert fresh.cipher.decrypt(blob) == b"archived-value"
+
+
+#: Plaintext shapes that exercise the keystream edge cases: empty, below
+#: one SHA-256 block, exactly one block, block-aligned, and ragged tails.
+_SHAPE_VECTORS = [b"", b"x", b"short", b"a" * 31, b"b" * 32, b"c" * 33,
+                  b"d" * 64, b"e" * 100, b"f" * 1024, bytes(range(256)) * 5]
+
+
+class TestScalarBatchedEquivalence:
+    """Optimized kernels vs the seed scalar implementations, byte for byte."""
+
+    def test_prf_paths_agree_on_fixed_vectors(self):
+        secret = b"known-answer-secret"
+        scalar, batched = ScalarPrf(secret), Prf(secret)
+        pairs = [("user00000001", 0), ("user00000001", 12345), ("k", 7),
+                 ("", 0), ("key-with-\x00-byte", 2**31)]
+        for key, ts in pairs:
+            assert scalar.derive(key, ts) == batched.derive(key, ts)
+        assert batched.derive_many(pairs) == [
+            batched.derive(key, ts) for key, ts in pairs]
+        assert scalar.derive_many(pairs) == batched.derive_many(pairs)
+        # Raw-bytes subkey derivation is pinned too (keychain depends on it).
+        assert scalar.derive_bytes(b"label") == batched.derive_bytes(b"label")
+
+    def test_prf_pins_unchanged_by_fast_path(self):
+        assert Prf(b"known-answer-secret").derive("user00000001", 0) == \
+            "15837b7ce3ddd5e6b367bd71710e10c0"
+        assert ScalarPrf(b"known-answer-secret").derive("user00000001", 0) == \
+            "15837b7ce3ddd5e6b367bd71710e10c0"
+
+    def test_aead_paths_agree_across_shapes(self):
+        """With synchronized nonce rngs the two implementations produce
+        identical blobs for empty, ragged and block-aligned plaintexts,
+        and each decrypts the other's output."""
+        keys = {"enc_key": b"ka-enc-key", "mac_key": b"ka-mac-key"}
+        scalar = ScalarCipher(rng=random.Random(42), **keys)
+        batched = AuthenticatedCipher(rng=random.Random(42), **keys)
+        for plaintext in _SHAPE_VECTORS:
+            blob_scalar = scalar.encrypt(plaintext)
+            blob_batched = batched.encrypt(plaintext)
+            assert blob_scalar == blob_batched
+            assert scalar.decrypt(blob_batched) == plaintext
+            assert batched.decrypt(blob_scalar) == plaintext
+
+    def test_aead_many_equals_looped_single(self):
+        keys = {"enc_key": b"ka-enc-key", "mac_key": b"ka-mac-key"}
+        looped = AuthenticatedCipher(rng=random.Random(7), **keys)
+        many = AuthenticatedCipher(rng=random.Random(7), **keys)
+        expected = [looped.encrypt(plaintext) for plaintext in _SHAPE_VECTORS]
+        blobs = many.encrypt_many(_SHAPE_VECTORS)
+        assert blobs == expected
+        assert many.decrypt_many(blobs) == _SHAPE_VECTORS
+
+    def test_aead_ciphertext_pin(self):
+        """Full ciphertext bytes under a fixed nonce rng: any keystream,
+        XOR or MAC change breaks decryption of already-stored data."""
+        cipher = AuthenticatedCipher(enc_key=b"pin-enc", mac_key=b"pin-mac",
+                                     rng=random.Random(0))
+        assert cipher.encrypt(b"fixed").hex() == (
+            "cd072cd8be6f9f62ac4c09c28206e7e3"  # nonce (random.Random(0))
+            "346852021f"                        # body
+            "e784245ca0437d0f7183cbcc6a3d47d8"  # tag
+            "9cdfb81bc88c2cd6bed2d1eed541a7e0")

@@ -71,6 +71,71 @@ class TestLruBasics:
         assert list(cache.keys()) == ["b", "c", "a"]
 
 
+class TestGetIfPresent:
+    """The single-lookup fast path must keep get/peek recency semantics."""
+
+    def test_hit_returns_value_and_touches_recency(self):
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        assert cache.get_if_present("a") == "a"
+        # Exactly like get(): "a" is now most recent, so "b" evicts first.
+        assert cache.evict() == ("b", "b")
+
+    def test_miss_returns_default_without_side_effects(self):
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        assert cache.get_if_present("zzz") is None
+        sentinel = object()
+        assert cache.get_if_present("zzz", sentinel) is sentinel
+        assert list(cache.keys()) == ["a", "b", "c"]  # recency untouched
+
+    def test_falsy_values_distinguishable_from_miss(self):
+        cache = LruCache(2)
+        cache.put("empty", b"")
+        cache.put("none", None)
+        sentinel = object()
+        assert cache.get_if_present("empty", sentinel) == b""
+        assert cache.get_if_present("none", sentinel) is None
+        assert cache.get_if_present("gone", sentinel) is sentinel
+
+    def test_agrees_with_contains_plus_get(self):
+        """get_if_present(k) ≡ (cache.get(k) if k in cache else default),
+        including the recency effect, across a mixed workload."""
+        import random
+        fast, slow = LruCache(8), LruCache(8)
+        rng = random.Random(17)
+        miss = object()
+        for step in range(2000):
+            key = rng.randrange(24)
+            if rng.random() < 0.5:
+                fast.put(key, step)
+                slow.put(key, step)
+            else:
+                got_fast = fast.get_if_present(key, miss)
+                got_slow = slow.get(key) if key in slow else miss
+                assert got_fast == got_slow
+            assert list(fast.keys()) == list(slow.keys())
+
+    def test_touch_if_present(self):
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        assert cache.touch_if_present("a") is True
+        assert cache.touch_if_present("zzz") is False
+        assert list(cache.keys()) == ["b", "c", "a"]
+
+    def test_peek_still_does_not_touch_recency(self):
+        """The new accessors must not have changed peek-vs-get semantics."""
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        cache.peek("a")
+        cache.get_if_present("b")
+        assert cache.evict() == ("a", "a")
+
+
 class TestLruProperties:
     @settings(max_examples=150, deadline=None)
     @given(

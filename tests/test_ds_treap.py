@@ -51,6 +51,32 @@ class TestTreapBasics:
         assert drained == sorted(drained)
         assert len(tree) == 0
 
+    def test_pop_min_many_equals_repeated_pop_min(self):
+        for take in (0, 1, 7, 50, 100, 150):
+            one, many = Treap(seed=4), Treap(seed=4)
+            order = list(range(100))
+            random.Random(5).shuffle(order)
+            for value in order:
+                one.insert(f"k{value}", (value, f"k{value}"))
+                many.insert(f"k{value}", (value, f"k{value}"))
+            expected = [one.pop_min() for _ in range(min(take, 100))]
+            assert many.pop_min_many(take) == expected
+            assert len(many) == len(one)
+            assert list(many.items()) == list(one.items())
+            many.check_invariants()
+
+    def test_pop_min_many_then_reuse(self):
+        """The tree stays fully functional after a batched prefix removal."""
+        tree = Treap(seed=6)
+        for value in range(60):
+            tree.insert(value, (value, value))
+        assert [entry for _, entry in tree.pop_min_many(25)] == list(range(25))
+        tree.insert(3, (3, 3))  # reinsert below the removed boundary
+        assert tree.min() == ((3, 3), 3)
+        tree.remove(3)
+        assert tree.pop_min_many(100) == [((v, v), v) for v in range(25, 60)]
+        assert len(tree) == 0
+
     def test_items_sorted(self):
         tree = Treap(seed=4)
         for value in (5, 3, 9, 1, 7):
