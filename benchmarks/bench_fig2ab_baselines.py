@@ -6,7 +6,7 @@ Paper (N=2^20, single-core proxies, YCSB A & C, Zipf 0.99):
   < Pancake < TaoStore (~300ms).
 """
 
-from conftest import publish
+from conftest import emit_result
 
 from repro.bench.experiments import DEFAULT_N, fig2ab_baselines
 from repro.bench.reporting import format_table
@@ -32,7 +32,7 @@ def test_fig2ab(benchmark):
             f"{waffle / by[(workload, 'taostore')]['throughput_ops']:.0f} "
             "(paper 102)"
         )
-    publish("fig2ab_baselines", "\n".join(lines))
+    emit_result("fig2ab_baselines", "\n".join(lines), data=rows)
 
     for workload in ("YCSB-A", "YCSB-C"):
         waffle = by[(workload, "waffle")]

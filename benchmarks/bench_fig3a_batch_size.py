@@ -5,7 +5,7 @@ Paper: B=10 performs worst; beyond a small knee the curve is flat
 performance implications.
 """
 
-from conftest import publish
+from conftest import emit_result
 
 from repro.bench.experiments import DEFAULT_N, fig3a_batch_size
 from repro.bench.reporting import format_series, format_table
@@ -21,7 +21,7 @@ def test_fig3a(benchmark):
         format_table(rows, title=f"Figure 3a - batch size (N={DEFAULT_N})"),
         format_series(rows, "batch_size", "throughput_ops"),
     ])
-    publish("fig3a_batch_size", text)
+    emit_result("fig3a_batch_size", text, data=rows)
 
     smallest = rows[0]["throughput_ops"]
     plateau = [row["throughput_ops"] for row in rows[2:]]

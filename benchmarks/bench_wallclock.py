@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import pathlib
 
-from conftest import publish
+from conftest import emit_result
 
 from repro.sim.perf import run_wallclock_benchmark
 
@@ -74,7 +74,7 @@ def run() -> dict:
 
 def test_wallclock_fastpath(benchmark):
     report = benchmark.pedantic(run, rounds=1, iterations=1)
-    publish("wallclock", _render(report))
+    emit_result("wallclock", _render(report), data=report)
     JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
     # The optimization contract: identical adversary-visible behaviour...

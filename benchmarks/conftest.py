@@ -7,6 +7,7 @@ scaled N, prints the paper-vs-measured comparison, and persists it under
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -18,3 +19,23 @@ def publish(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_result(name: str, text: str, data=None) -> None:
+    """Publish one benchmark result in both human and machine form.
+
+    The rendered ``text`` goes through :func:`publish` (stdout +
+    ``results/<name>.txt``); ``data`` — plus a metrics snapshot when the
+    observability layer is live — lands in ``results/<name>.json``.  The
+    benches used to hand-roll this pair of sinks each in their own way.
+    """
+    publish(name, text)
+    from repro.obs import OBS
+
+    payload = {
+        "name": name,
+        "data": data,
+        "metrics": OBS.registry.snapshot() if OBS.enabled else None,
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n")

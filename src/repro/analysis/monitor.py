@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
-__all__ = ["AlphaMonitor", "WindowReport"]
+__all__ = ["AlphaMonitor", "WindowReport", "attach_monitor"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,3 +123,28 @@ class AlphaMonitor:
                 self.observe_write(record.storage_id, record.round)
             elif record.op == "read":
                 self.observe_read(record.storage_id, record.round)
+
+
+def attach_monitor(tracer, monitor: AlphaMonitor):
+    """Feed ``monitor`` live from a tracer's ``storage.access`` events.
+
+    Subscribes to the tracer (``repro.obs.Tracer``) and routes each
+    ``storage.access`` event — emitted by
+    :class:`repro.storage.recording.RecordingStore` — into the monitor,
+    realizing the paper's "monitor α after deploying" (§8.4) without a
+    second pass over the recorded trace.  Returns the subscriber callback
+    so callers can detach it later (``tracer.unsubscribe``).
+    """
+
+    def _on_record(record: dict) -> None:
+        if record.get("kind") != "event" or record.get("name") != "storage.access":
+            return
+        attrs = record.get("attrs", {})
+        op = attrs.get("op")
+        if op == "write":
+            monitor.observe_write(attrs["id"], attrs["round"])
+        elif op == "read":
+            monitor.observe_read(attrs["id"], attrs["round"])
+
+    tracer.subscribe(_on_record)
+    return _on_record

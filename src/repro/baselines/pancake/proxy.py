@@ -23,10 +23,12 @@ not *sequences* — the correlated-query attack in
 from __future__ import annotations
 
 import random
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.baselines.pancake.smoothing import SmoothedDistribution
+from repro.obs import OBS
 from repro.crypto.keys import KeyChain
 from repro.errors import ConfigurationError, ProtocolError
 from repro.storage.base import StorageBackend
@@ -148,6 +150,10 @@ class PancakeProxy:
         recording = self.store if isinstance(self.store, RecordingStore) else None
         if recording is not None:
             recording.next_round()
+        obs = OBS
+        observing = obs.enabled
+        if observing:
+            _t0 = time.perf_counter()
 
         # Slot selection: the delta coin per slot.
         slots: list[tuple[int, int, TraceRequest | None, list | None]] = []
@@ -220,6 +226,20 @@ class PancakeProxy:
         served = sum(1 for _, _, request, _ in slots if request is not None)
         if self._keep_batch_stats:
             stats.per_batch.append((served, len(unique_sids), len(write_back)))
+        if observing:
+            labels = {"system": "pancake"}
+            reg = obs.registry
+            fake = self.batch_size - served
+            reg.counter("rounds.total", **labels).inc()
+            reg.counter("requests.total", **labels).inc(served)
+            reg.counter("server.reads.total", **labels).inc(len(unique_sids))
+            reg.counter("server.writes.total", **labels).inc(len(write_back))
+            reg.counter("batch.real.total", **labels).inc(served)
+            reg.counter("batch.fake_dummy.total", **labels).inc(fake)
+            reg.gauge("cache.size", **labels).set(len(self.update_cache))
+            obs.observe_span("round", time.perf_counter() - _t0,
+                             labels=labels, round=stats.batches,
+                             requests=served, real=served, fake_dummy=fake)
         return served
 
     # ------------------------------------------------------------------

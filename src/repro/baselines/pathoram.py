@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass
 
 from repro.crypto.keys import KeyChain
+from repro.obs import OBS
 from repro.errors import ConfigurationError, KeyNotFoundError
 from repro.storage.base import StorageBackend
 from repro.workloads.trace import Operation, TraceRequest
@@ -133,6 +135,12 @@ class PathOram:
         """One PathORAM access: read path, remap, serve, evict, write path."""
         if key not in self.position:
             raise KeyNotFoundError(key)
+        obs = OBS
+        observing = obs.enabled
+        if observing:
+            _t0 = time.perf_counter()
+            _reads0 = self.stats.buckets_read
+            _writes0 = self.stats.buckets_written
         leaf = self.position[key]
         self._read_path_into_stash(leaf)
         self.position[key] = self._rng.randrange(self.leaves)
@@ -148,6 +156,22 @@ class PathOram:
         self._write_path_from_stash(leaf)
         self.stats.accesses += 1
         self.stats.max_stash = max(self.stats.max_stash, len(self.stash))
+        if observing:
+            # Each access is its own "round" (PathORAM is unbatched); the
+            # shared metric names keep the systems comparable side by side.
+            labels = {"system": "pathoram"}
+            reg = obs.registry
+            reg.counter("rounds.total", **labels).inc()
+            reg.counter("requests.total", **labels).inc()
+            reg.counter("batch.real.total", **labels).inc()
+            reg.counter("server.reads.total", **labels).inc(
+                self.stats.buckets_read - _reads0)
+            reg.counter("server.writes.total", **labels).inc(
+                self.stats.buckets_written - _writes0)
+            reg.gauge("cache.size", **labels).set(len(self.stash))
+            obs.observe_span("round", time.perf_counter() - _t0,
+                             labels=labels, round=self.stats.accesses,
+                             requests=1, real=1, stash=len(self.stash))
         return result
 
     def _read_path_into_stash(self, leaf: int) -> None:

@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.crypto.keys import KeyChain
+from repro.obs import OBS
 from repro.errors import ConfigurationError, KeyNotFoundError
 from repro.storage.base import StorageBackend
 from repro.workloads.trace import Operation, TraceRequest
@@ -178,6 +180,13 @@ class TaoStore:
     # ------------------------------------------------------------------
     def _process(self, request: TraceRequest) -> bytes:
         key = request.key
+        obs = OBS
+        observing = obs.enabled
+        if observing:
+            _t0 = time.perf_counter()
+            _reads0 = self.stats.buckets_read
+            _writes0 = self.stats.buckets_written
+            _fakes0 = self.stats.fake_reads
         if key in self._pending_blocks or key in self._in_flight:
             # The block is already client-side; issue a fake read of a
             # random path so the adversary still observes one path fetch.
@@ -200,6 +209,25 @@ class TaoStore:
         self.stats.max_subtree = max(self.stats.max_subtree, len(self._subtree))
         if self._since_flush >= self.write_back_threshold:
             self._flush()
+        if observing:
+            # One sequenced access = one "round"; the flush (if it fired)
+            # is inside the span, matching how clients experience it.
+            labels = {"system": "taostore"}
+            reg = obs.registry
+            reg.counter("rounds.total", **labels).inc()
+            reg.counter("requests.total", **labels).inc()
+            reg.counter("batch.real.total", **labels).inc()
+            reg.counter("batch.fake_dummy.total", **labels).inc(
+                self.stats.fake_reads - _fakes0)
+            reg.counter("server.reads.total", **labels).inc(
+                self.stats.buckets_read - _reads0)
+            reg.counter("server.writes.total", **labels).inc(
+                self.stats.buckets_written - _writes0)
+            reg.gauge("cache.size", **labels).set(len(self._pending_blocks))
+            obs.observe_span("round", time.perf_counter() - _t0,
+                             labels=labels, round=self.stats.accesses,
+                             requests=1, real=1,
+                             fake_reads=self.stats.fake_reads - _fakes0)
         return value
 
     def _fetch_path(self, leaf: int) -> None:

@@ -76,6 +76,18 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--rounds", type=int, default=200)
     audit.add_argument("--uniform", action="store_true",
                        help="uniform instead of Zipf-0.99 input")
+
+    obs_p = sub.add_parser(
+        "obs", help="run an instrumented workload and render the live "
+                    "observability dashboard")
+    obs_p.add_argument("--n", type=int, default=1024)
+    obs_p.add_argument("--rounds", type=int, default=50)
+    obs_p.add_argument("--window", type=int, default=10,
+                       help="AlphaMonitor window size in rounds")
+    obs_p.add_argument("--trace-out", default=None,
+                       help="stream the JSONL trace to this file")
+    obs_p.add_argument("--prom-out", default=None,
+                       help="write a Prometheus text snapshot to this file")
     return parser
 
 
@@ -183,6 +195,48 @@ def _run_audit(args) -> int:
     return 0 if result.passed else 1
 
 
+def _run_obs(args) -> int:
+    from repro import obs
+    from repro.analysis.monitor import AlphaMonitor, attach_monitor
+    from repro.core.batch import ClientRequest
+    from repro.core.datastore import WaffleDatastore
+    from repro.crypto.keys import KeyChain
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.export import write_prometheus
+    from repro.workloads.ycsb import YcsbWorkload
+
+    config = WaffleConfig.paper_defaults(n=args.n, seed=1)
+    handle = obs.enable(trace_path=args.trace_out)
+    # Attached before the datastore is built so initialization writes
+    # stream into the monitor — otherwise every steady-state read would
+    # look like a read of an unobserved id.
+    monitor = AlphaMonitor(alpha_budget=config.alpha_bound_effective(),
+                           window_rounds=args.window)
+    attach_monitor(handle.tracer, monitor)
+
+    workload = YcsbWorkload(args.n, read_proportion=0.5, theta=0.99,
+                            value_size=128, seed=2)
+    items = dict(workload.initial_records())
+    datastore = WaffleDatastore(config, items,
+                                keychain=KeyChain.from_seed(1))
+    trace = workload.trace(config.r * args.rounds)
+    for i in range(args.rounds):
+        chunk = trace[i * config.r:(i + 1) * config.r]
+        datastore.execute_batch([
+            ClientRequest(op=req.op, key=req.key, value=req.value)
+            for req in chunk])
+
+    print(render_dashboard(handle.registry, monitor=monitor))
+    if args.prom_out:
+        write_prometheus(handle.registry, args.prom_out)
+        print(f"prometheus snapshot -> {args.prom_out}")
+    if args.trace_out:
+        handle.tracer.flush()
+        print(f"trace jsonl -> {args.trace_out}")
+    obs.disable()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -195,6 +249,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_experiment(args)
     if args.command == "audit":
         return _run_audit(args)
+    if args.command == "obs":
+        return _run_obs(args)
     return _show_bounds(args)
 
 

@@ -39,7 +39,10 @@ vice versa; see :mod:`repro.core.mutations`.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
+
+from repro.obs import OBS
 
 from repro.core.batch import ClientRequest, ClientResponse
 from repro.core.config import WaffleConfig
@@ -232,6 +235,14 @@ class WaffleProxy:
         recording = self.store if isinstance(self.store, RecordingStore) else None
         if recording is not None:
             recording.next_round()
+        # Observability: phase boundaries are perf_counter readings taken
+        # only when enabled; the disabled path costs one branch per phase
+        # (the zero-cost contract pinned by tests/test_obs_overhead.py).
+        obs = OBS
+        observing = obs.enabled
+        if observing:
+            _pc = time.perf_counter
+            _t0 = _pc()
 
         cli_resp: dict[int, bytes] = {}
         dedup: dict[str, list[tuple[int, bool]]] = {}
@@ -364,6 +375,10 @@ class WaffleProxy:
             raise ProtocolError("delete queue exceeded fake-real budget")
         stats.unique_real_reads = r
         stats.fake_real_reads = f_r
+        if observing:
+            _t1 = _pc()
+            obs.observe_span("phase.plan", _t1 - _t0,
+                             labels={"system": "waffle"}, round=self.ts)
 
         # One pipelined read of B ids, then delete them (read-once ids).
         sids = sorted(read_batch)
@@ -371,6 +386,11 @@ class WaffleProxy:
         self.store.multi_delete(sids)
         stats.server_reads = len(sids)
         stats.server_deletes = len(sids)
+        if observing:
+            _t2 = _pc()
+            obs.observe_span("phase.server_io", _t2 - _t1,
+                             labels={"system": "waffle", "dir": "read"},
+                             round=self.ts, ids=len(sids))
 
         # -------------------- write phase --------------------
         # "The algorithm first evicts an object from the cache before
@@ -408,6 +428,11 @@ class WaffleProxy:
         )
         decrypted = dict(zip(real_positions, plaintexts))
         stats.decryptions += len(real_positions)
+        if observing:
+            _t3 = _pc()
+            obs.observe_span("phase.decrypt", _t3 - _t2,
+                             labels={"system": "waffle"}, round=self.ts,
+                             values=len(real_positions))
 
         for pos, sid in enumerate(sids):
             key = read_batch[sid]
@@ -448,18 +473,36 @@ class WaffleProxy:
         self.totals.max_transient_cache = max(
             self.totals.max_transient_cache, len(self.cache)
         )
+        if observing:
+            _t4 = _pc()
+            obs.observe_span("phase.cache", _t4 - _t3,
+                             labels={"system": "waffle"}, round=self.ts)
         # Drain the write-miss overage (the C + R transient) back to C.
         while self.cache.over_capacity():
             evict_one()
+        if observing:
+            _t5 = _pc()
+            obs.observe_span("phase.evict", _t5 - _t4,
+                             labels={"system": "waffle"}, round=self.ts)
 
         write_ids = self._encode_ids([(key, ts) for key, ts, _ in write_plan])
         ciphertexts = self.keychain.cipher.encrypt_many(
             [value for _, _, value in write_plan]
         )
         write_batch = list(zip(write_ids, ciphertexts))
+        if observing:
+            _t6 = _pc()
+            obs.observe_span("phase.derive", _t6 - _t5,
+                             labels={"system": "waffle"}, round=self.ts,
+                             writes=len(write_batch))
         self.store.multi_put(write_batch)
         stats.server_writes = len(write_batch)
         dummy_index.end_round(self.ts)
+        if observing:
+            _t7 = _pc()
+            obs.observe_span("phase.server_io", _t7 - _t6,
+                             labels={"system": "waffle", "dir": "write"},
+                             round=self.ts, ids=len(write_batch))
 
         # -------------------- bookkeeping --------------------
         totals = self.totals
@@ -471,6 +514,25 @@ class WaffleProxy:
         if self._keep_round_stats:
             totals.stats_by_round.append(stats)
         self._last_stats = stats
+
+        if observing:
+            labels = {"system": "waffle"}
+            reg = obs.registry
+            reg.counter("rounds.total", **labels).inc()
+            reg.counter("requests.total", **labels).inc(stats.requests)
+            reg.counter("cache.hits.total", **labels).inc(stats.cache_hits)
+            reg.counter("server.reads.total", **labels).inc(stats.server_reads)
+            reg.counter("server.writes.total", **labels).inc(stats.server_writes)
+            reg.counter("batch.real.total", **labels).inc(stats.unique_real_reads)
+            reg.counter("batch.fake_real.total", **labels).inc(stats.fake_real_reads)
+            reg.counter("batch.fake_dummy.total", **labels).inc(stats.fake_dummy_reads)
+            reg.gauge("cache.size", **labels).set(len(self.cache))
+            obs.observe_span("round", _pc() - _t0, labels=labels,
+                             round=self.ts, requests=stats.requests,
+                             real=stats.unique_real_reads,
+                             fake_real=stats.fake_real_reads,
+                             fake_dummy=stats.fake_dummy_reads,
+                             cache_hits=stats.cache_hits)
 
         return [
             ClientResponse(request_id=request.request_id, key=request.key,

@@ -37,9 +37,11 @@ from __future__ import annotations
 import hashlib
 import hmac
 import os
+import time
 from typing import Iterable, Sequence
 
 from repro.errors import IntegrityError
+from repro.obs import OBS
 
 try:  # vectorized XOR when available; the big-int path needs nothing
     import numpy as _np
@@ -162,6 +164,15 @@ class AuthenticatedCipher:
         Nonces are drawn in input order, so under a deterministic rng the
         batch form is byte-identical to looping :meth:`encrypt`.
         """
+        if OBS.enabled:
+            start = time.perf_counter()
+            out = self._encrypt_many(plaintexts)
+            OBS.observe_kernel("aead.encrypt_many",
+                               time.perf_counter() - start, len(out))
+            return out
+        return self._encrypt_many(plaintexts)
+
+    def _encrypt_many(self, plaintexts: Iterable[bytes]) -> list[bytes]:
         randbytes = self._randbytes
         keystream = self._keystream
         tag = self._tag
@@ -175,6 +186,15 @@ class AuthenticatedCipher:
 
     def decrypt_many(self, blobs: Sequence[bytes]) -> list[bytes]:
         """Batched :meth:`decrypt`; raises on the first tampered blob."""
+        if OBS.enabled:
+            start = time.perf_counter()
+            out = self._decrypt_many(blobs)
+            OBS.observe_kernel("aead.decrypt_many",
+                               time.perf_counter() - start, len(out))
+            return out
+        return self._decrypt_many(blobs)
+
+    def _decrypt_many(self, blobs: Sequence[bytes]) -> list[bytes]:
         compare = hmac.compare_digest
         keystream = self._keystream
         tag = self._tag

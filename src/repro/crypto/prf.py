@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import hmac
 import hashlib
+import time
 from typing import Iterable
+
+from repro.obs import OBS
 
 __all__ = ["Prf"]
 
@@ -68,6 +71,15 @@ class Prf:
         Output ``i`` equals ``derive(*pairs[i])`` exactly; the batch form
         only hoists attribute lookups out of the per-item loop.
         """
+        if OBS.enabled:
+            start = time.perf_counter()
+            out = self._derive_many(pairs)
+            OBS.observe_kernel("prf.derive_many",
+                               time.perf_counter() - start, len(out))
+            return out
+        return self._derive_many(pairs)
+
+    def _derive_many(self, pairs: Iterable[tuple[str, int]]) -> list[str]:
         keyed = self._keyed
         cut = _DIGEST_HEX_LEN
         out = []

@@ -19,7 +19,10 @@ deep trees cannot hit Python's recursion limit.
 from __future__ import annotations
 
 import random
+import time
 from typing import Iterator
+
+from repro.obs import OBS
 
 __all__ = ["Treap"]
 
@@ -215,6 +218,15 @@ class Treap:
         batched fake-query selection.  Results are in ascending sort-key
         order, exactly the sequence repeated :meth:`pop_min` would yield.
         """
+        if OBS.enabled:
+            start = time.perf_counter()
+            out = self._pop_min_many(count)
+            OBS.observe_kernel("treap.pop_min_many",
+                               time.perf_counter() - start, len(out))
+            return out
+        return self._pop_min_many(count)
+
+    def _pop_min_many(self, count: int) -> list[tuple]:
         if count <= 0:
             return []
         if count >= len(self._position):

@@ -16,10 +16,13 @@ policy layer above :class:`HighlyAvailableProxy`.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.batch import ClientRequest, ClientResponse
 from repro.core.proxy import WaffleProxy
 from repro.errors import ConfigurationError, ProtocolError
 from repro.ha.checkpoint import capture_proxy, restore_proxy
+from repro.obs import OBS
 from repro.storage.base import StorageBackend
 
 __all__ = ["HighlyAvailableProxy"]
@@ -66,9 +69,20 @@ class HighlyAvailableProxy:
         responses = self._primary.handle_batch(requests)
         self._batches_since_ship += 1
         if self._batches_since_ship >= self._interval:
-            self._standby_blob = capture_proxy(self._primary)
+            if OBS.enabled:
+                start = time.perf_counter()
+                self._standby_blob = capture_proxy(self._primary)
+                OBS.observe_span("ha.checkpoint",
+                                 time.perf_counter() - start,
+                                 bytes=len(self._standby_blob))
+                OBS.registry.counter("ha.snapshots.total").inc()
+            else:
+                self._standby_blob = capture_proxy(self._primary)
             self.snapshots_shipped += 1
             self._batches_since_ship = 0
+        if OBS.enabled:
+            OBS.registry.gauge("ha.standby_lag.batches").set(
+                self._batches_since_ship)
         return responses
 
     def fail_over(self, store: StorageBackend | None = None,
@@ -97,4 +111,8 @@ class HighlyAvailableProxy:
         self._primary = restore_proxy(self._standby_blob, target_store)
         self._batches_since_ship = 0
         self.failovers += 1
+        if OBS.enabled:
+            OBS.registry.counter("ha.failovers.total").inc()
+            OBS.event("ha.failover", round=self._primary.ts,
+                      stale=allow_stale)
         return self._primary

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
+from repro.obs import OBS
 from repro.net.protocol import (
     decode_message,
     encode_message,
@@ -97,6 +99,22 @@ class StorageServer:
                     return
 
     def _dispatch(self, request):
+        if OBS.enabled:
+            start = time.perf_counter()
+            command = request[0] if isinstance(request, list) and request \
+                else "malformed"
+            reply = self._dispatch_inner(request)
+            duration = time.perf_counter() - start
+            size = len(request) - 1 if command == "PIPELINE" else 1
+            OBS.registry.counter("net.requests.total",
+                                 command=str(command)).inc()
+            OBS.observe_span("net.request", duration,
+                             labels={"command": str(command)}, commands=size,
+                             error=isinstance(reply, Exception))
+            return reply
+        return self._dispatch_inner(request)
+
+    def _dispatch_inner(self, request):
         if not isinstance(request, list) or not request:
             return ValueError("malformed request")
         name = request[0]

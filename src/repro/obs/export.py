@@ -1,0 +1,106 @@
+"""Exporters: Prometheus-style text snapshots and JSONL trace dumps.
+
+The text format follows the Prometheus exposition conventions closely
+enough for any Prometheus-ecosystem tool to scrape a file written by
+:func:`render_prometheus`: ``# TYPE`` headers, ``_total`` counter
+suffixes, cumulative ``_bucket{le="..."}`` series for bucket-mode
+histograms and ``{quantile="..."}`` summary lines for reservoirs.
+Metric names are sanitized (dots become underscores) on the way out;
+the registry keeps the dotted internal names.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "write_prometheus", "write_trace_jsonl"]
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _labels_text(labels: tuple, extra: str = "") -> str:
+    parts = [f'{_sanitize(k)}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _render_histogram(base: str, labels: tuple, hist: Histogram) -> list[str]:
+    lines = []
+    if hist.mode == "buckets":
+        for bound, cumulative in hist.bucket_counts():
+            le = "+Inf" if math.isinf(bound) else repr(bound)
+            extra = 'le="%s"' % le
+            lines.append(
+                f"{base}_bucket{_labels_text(labels, extra)} {cumulative}")
+    else:
+        for q in (0.5, 0.95, 0.99):
+            extra = 'quantile="%s"' % q
+            lines.append(
+                f"{base}{_labels_text(labels, extra)} "
+                f"{_format_value(hist.percentile(q))}")
+    lines.append(f"{base}_sum{_labels_text(labels)} {_format_value(hist.total)}")
+    lines.append(f"{base}_count{_labels_text(labels)} {hist.count}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the whole registry as Prometheus exposition text."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for name, labels, metric in registry:
+        base = _sanitize(name)
+        if metric.kind == "counter":
+            base = base if base.endswith("_total") else base + "_total"
+            if base not in seen_types:
+                lines.append(f"# TYPE {base} counter")
+                seen_types.add(base)
+            lines.append(f"{base}{_labels_text(labels)} "
+                         f"{_format_value(metric.value)}")
+        elif metric.kind == "gauge":
+            if base not in seen_types:
+                lines.append(f"# TYPE {base} gauge")
+                seen_types.add(base)
+            lines.append(f"{base}{_labels_text(labels)} "
+                         f"{_format_value(metric.value)}")
+        else:
+            kind = "histogram" if metric.mode == "buckets" else "summary"
+            if base not in seen_types:
+                lines.append(f"# TYPE {base} {kind}")
+                seen_types.add(base)
+            lines.extend(_render_histogram(base, labels, metric))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> None:
+    """Write :func:`render_prometheus` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(registry))
+
+
+def write_trace_jsonl(records, path) -> int:
+    """Dump trace ``records`` (dicts) to ``path`` as JSON lines.
+
+    Used for post-hoc export of an in-memory tracer buffer; live
+    streaming is handled by ``Tracer(path=...)``.  Returns the number of
+    records written.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str) + "\n")
+            count += 1
+    return count

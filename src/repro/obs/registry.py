@@ -1,0 +1,267 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+The registry is the numeric half of :mod:`repro.obs`.  It is deliberately
+clock-agnostic: wall-clock code observes ``time.perf_counter`` deltas and
+simulated-clock code (the cost model, :mod:`repro.sim.closedloop`) feeds
+simulated seconds into the very same histogram type — a metric is just a
+named stream of values plus low-cardinality labels.
+
+Design points:
+
+* **Labels** make metric names comparable across systems: every proxy
+  records ``round.seconds`` and the ``system=waffle|pancake|...`` label
+  distinguishes them, so dashboards and exporters can place the systems
+  side by side without name translation tables.
+* **Histograms** support two modes.  ``reservoir`` keeps a bounded
+  uniform sample (Vitter's algorithm R) for percentile queries;
+  ``buckets`` counts into fixed upper-bound buckets (the Prometheus
+  shape) for cheap merges and text exposition.  The reservoir uses a
+  *private* deterministic :class:`random.Random` so that observability
+  never consumes a draw from any system or workload rng — the
+  trace-neutrality invariant (DESIGN.md §7) depends on this.
+* The registry itself has no dependencies on the rest of the package, so
+  every layer (crypto kernels included) may import it freely.
+
+Counter/gauge updates are plain attribute arithmetic; under CPython's
+GIL that is safe enough for dashboard-grade accuracy, which is all the
+observability layer promises.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default reservoir capacity; enough for stable p99 estimates.
+_DEFAULT_RESERVOIR = 1024
+
+#: Default buckets (seconds-flavoured, spanning µs to minutes).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (cache size, standby lag, ...)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Distribution of observed values, in reservoir or bucket mode.
+
+    Parameters
+    ----------
+    mode:
+        ``"reservoir"`` (bounded uniform sample, exact small-n
+        percentiles) or ``"buckets"`` (fixed upper-bound counts,
+        Prometheus-style; percentiles resolve to bucket bounds).
+    buckets:
+        Upper bounds for bucket mode; ignored for reservoirs.
+    reservoir_size:
+        Sample capacity for reservoir mode.
+    """
+
+    __slots__ = ("mode", "count", "total", "min", "max",
+                 "_samples", "_capacity", "_rng", "_bounds", "_bucket_counts")
+    kind = "histogram"
+
+    def __init__(self, mode: str = "reservoir",
+                 buckets: tuple[float, ...] | None = None,
+                 reservoir_size: int = _DEFAULT_RESERVOIR) -> None:
+        if mode not in ("reservoir", "buckets"):
+            raise ValueError(f"unknown histogram mode {mode!r}")
+        if reservoir_size < 1:
+            raise ValueError("reservoir size must be positive")
+        self.mode = mode
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._samples: list[float] = []
+        self._capacity = reservoir_size
+        # Private deterministic rng: observability must never consume a
+        # draw from a system/workload rng (trace neutrality).
+        self._rng = random.Random(0x0B5E7)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        self._bounds = bounds if mode == "buckets" else ()
+        self._bucket_counts = [0] * (len(self._bounds) + 1)  # +inf overflow
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.mode == "reservoir":
+            if len(self._samples) < self._capacity:
+                self._samples.append(value)
+            else:  # Vitter's algorithm R
+                slot = self._rng.randrange(self.count)
+                if slot < self._capacity:
+                    self._samples[slot] = value
+        else:
+            self._bucket_counts[bisect_left(self._bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 1]); 0.0 when empty.
+
+        Bucket mode returns the upper bound of the bucket holding the
+        rank (``inf`` resolves to the observed max).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if self.mode == "reservoir":
+            ordered = sorted(self._samples)
+            rank = max(1, round(q * len(ordered)))
+            return ordered[rank - 1]
+        target = max(1, round(q * self.count))
+        running = 0
+        for i, n in enumerate(self._bucket_counts):
+            running += n
+            if running >= target:
+                if i < len(self._bounds):
+                    return self._bounds[i]
+                return self.max if self.max is not None else 0.0
+        return self.max if self.max is not None else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs (bucket mode only)."""
+        if self.mode != "buckets":
+            raise ValueError("bucket counts only exist in bucket mode")
+        out, running = [], 0
+        for bound, n in zip(self._bounds, self._bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_name(name: str, labels: tuple) -> str:
+    """Human/JSON rendering: ``name{k=v,...}`` (bare name when unlabeled)."""
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class MetricsRegistry:
+    """Named, labeled metrics with get-or-create semantics.
+
+    ``counter``/``gauge``/``histogram`` return the live metric object, so
+    hot paths may hold a reference instead of re-resolving the name.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        #: (name, label tuple) -> metric object
+        self._metrics: dict[tuple[str, tuple], object] = {}
+
+    def _get(self, name: str, factory, labels: dict):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        metric = self._get(name, Counter, labels)
+        if metric.kind != "counter":
+            raise ValueError(f"{name!r} already registered as {metric.kind}")
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        metric = self._get(name, Gauge, labels)
+        if metric.kind != "gauge":
+            raise ValueError(f"{name!r} already registered as {metric.kind}")
+        return metric
+
+    def histogram(self, name: str, mode: str = "reservoir",
+                  buckets: tuple[float, ...] | None = None,
+                  **labels) -> Histogram:
+        metric = self._get(
+            name, lambda: Histogram(mode=mode, buckets=buckets), labels)
+        if metric.kind != "histogram":
+            raise ValueError(f"{name!r} already registered as {metric.kind}")
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        """Yield ``(name, label tuple, metric)`` sorted by name."""
+        for (name, labels), metric in sorted(self._metrics.items()):
+            yield name, labels, metric
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-able state of every metric, grouped by kind."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, labels, metric in self:
+            rendered = render_name(name, labels)
+            out[metric.kind + "s"][rendered] = metric.snapshot()
+        return out

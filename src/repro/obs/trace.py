@@ -1,0 +1,176 @@
+"""Structured tracing: spans and events as JSON-lines records.
+
+A *span* is a named, timed region (``round``, ``phase.decrypt``,
+``ha.checkpoint``); an *event* is a point observation (one adversary-
+visible storage access, a fail-over).  Both carry free-form attributes
+and serialize to one JSON object per line, so a trace file replays with
+``json.loads`` per line and nothing else.
+
+The tracer buffers records in memory (bounded), optionally streams them
+to a JSONL file, and fans every record out to registered subscribers —
+that last hook is how the live :class:`~repro.analysis.monitor.AlphaMonitor`
+consumes the storage-access stream without the storage layer knowing the
+monitor exists.
+
+Trace neutrality: emitting a record reads ``time.perf_counter`` and
+appends to lists; it never draws randomness and never touches system
+state, so an instrumented run is byte-identical to an uninstrumented one
+on the adversary-visible channel (enforced by
+:func:`repro.sim.perf.compare_obs_traces`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+__all__ = ["NULL_SPAN", "Span", "Tracer"]
+
+#: Default in-memory record cap; oldest records are dropped beyond it so
+#: week-long runs cannot exhaust memory (file sinks keep everything).
+_DEFAULT_MAX_RECORDS = 200_000
+
+
+class _NullSpan:
+    """Shared no-op span returned whenever observability is disabled.
+
+    A single module-level instance, so the disabled path allocates
+    nothing: ``with OBS.span(...)`` costs one attribute check and two
+    no-op calls.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live timed region; use as a context manager.
+
+    ``set(**attrs)`` attaches attributes discovered mid-region (batch
+    composition, byte counts).  The record is emitted at ``__exit__``.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer.record_span(self.name, duration, **self.attrs)
+        return False
+
+
+class Tracer:
+    """Collects span/event records; buffers, streams and fans out.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file; records append as they are emitted.
+    buffer:
+        Keep records in memory (:attr:`records`); disable for unbounded
+        file-only runs.
+    max_records:
+        In-memory cap; the buffer drops its oldest half when full.
+    """
+
+    __slots__ = ("records", "dropped", "_path", "_file", "_subscribers",
+                 "_buffer", "_max_records", "_seq")
+
+    def __init__(self, path=None, buffer: bool = True,
+                 max_records: int = _DEFAULT_MAX_RECORDS) -> None:
+        self.records: list[dict] = []
+        self.dropped = 0
+        self._path = path
+        self._file = open(path, "a", encoding="utf-8") if path else None
+        self._subscribers: list = []
+        self._buffer = buffer
+        self._max_records = max_records
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        record["seq"] = self._seq
+        self._seq += 1
+        if self._buffer:
+            self.records.append(record)
+            if len(self.records) > self._max_records:
+                keep = self._max_records // 2
+                self.dropped += len(self.records) - keep
+                self.records = self.records[-keep:]
+        if self._file is not None:
+            self._file.write(json.dumps(record, default=str) + "\n")
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def record_span(self, name: str, seconds: float, **attrs) -> None:
+        """Emit a completed span with an explicit duration.
+
+        Hot paths that already hold ``perf_counter`` boundaries use this
+        directly and skip the context-manager object entirely.
+        """
+        self.emit({"kind": "span", "name": name, "dur": seconds,
+                   "attrs": attrs})
+
+    def event(self, name: str, **attrs) -> None:
+        self.emit({"kind": "event", "name": name, "attrs": attrs})
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    def subscribe(self, callback) -> None:
+        """Register ``callback(record)`` for every future record."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a previously registered subscriber (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        return [r for r in self.records if r["kind"] == "span"
+                and (name is None or r["name"] == name)]
+
+    def events(self, name: str | None = None) -> list[dict]:
+        return [r for r in self.records if r["kind"] == "event"
+                and (name is None or r["name"] == name)]
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None

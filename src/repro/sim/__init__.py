@@ -18,6 +18,7 @@ stack.
 
 from repro.sim.clock import SimClock
 from repro.sim.costmodel import CostModel
-from repro.sim.metrics import LatencyRecorder, ThroughputMeter
+from repro.sim.metrics import LatencyRecorder, LatencySummary, ThroughputMeter
 
-__all__ = ["CostModel", "LatencyRecorder", "SimClock", "ThroughputMeter"]
+__all__ = ["CostModel", "LatencyRecorder", "LatencySummary", "SimClock",
+           "ThroughputMeter"]

@@ -24,6 +24,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS
 from repro.sim.metrics import LatencyRecorder
 
 __all__ = ["ClosedLoopResult", "simulate_closed_loop"]
@@ -94,6 +95,12 @@ def simulate_closed_loop(round_time_s: float, batch_capacity: int,
         heapq.heappush(events, (0.0, order, "arrive", 0.0))
         order += 1
 
+    # Simulated-clock metrics: latencies are *simulated* seconds, so the
+    # histogram carries a clock=sim label to keep it distinguishable from
+    # wall-clock series of the same shape.
+    lat_hist = OBS.registry.histogram(
+        "closedloop.latency.seconds", clock="sim") if OBS.enabled else None
+
     pending: list[float] = []  # arrival times of queued requests
     oldest_pending: float | None = None
     busy_until: float | None = None
@@ -143,6 +150,8 @@ def simulate_closed_loop(round_time_s: float, batch_capacity: int,
         else:  # round_done
             for arrival in in_flight:
                 recorder.record(now - arrival)
+                if lat_hist is not None:
+                    lat_hist.observe(now - arrival)
                 served += 1
                 next_arrival = now + draw_think()
                 heapq.heappush(events, (next_arrival, order, "arrive", 0.0))
@@ -152,6 +161,14 @@ def simulate_closed_loop(round_time_s: float, batch_capacity: int,
             try_dispatch(now)
 
     duration = min(now, duration_s)
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.counter("closedloop.rounds.total", clock="sim").inc(rounds)
+        reg.counter("closedloop.requests.total", clock="sim").inc(served)
+        reg.counter("closedloop.timeout_dispatches.total",
+                    clock="sim").inc(timeout_dispatches)
+        OBS.event("closedloop.done", clients=clients, rounds=rounds,
+                  served=served, duration_s=duration)
     return ClosedLoopResult(
         requests=served,
         rounds=rounds,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["LatencyRecorder", "ThroughputMeter"]
+__all__ = ["LatencyRecorder", "LatencySummary", "ThroughputMeter"]
 
 
 class ThroughputMeter:
@@ -32,9 +32,19 @@ class ThroughputMeter:
         return self._ops
 
     def ops_per_second(self) -> float:
-        """Average throughput over the recorded window."""
-        if self._start is None or self._end is None or self._end <= self._start:
+        """Average throughput over the recorded window.
+
+        The window runs from the first to the last :meth:`record` call's
+        timestamp, so a single ``record`` (or several at one instant)
+        spans zero time: with operations completed in a zero-length
+        window the instantaneous rate is unbounded and this returns
+        ``math.inf`` rather than a misleading ``0.0``.  An empty meter —
+        or a degenerate window with zero operations — reports ``0.0``.
+        """
+        if self._start is None or self._end is None:
             return 0.0
+        if self._end <= self._start:
+            return math.inf if self._ops > 0 else 0.0
         return self._ops / (self._end - self._start)
 
 

@@ -59,6 +59,7 @@ __all__ = [
     "bench_index_kernel",
     "bench_prf_kernel",
     "bench_rounds",
+    "compare_obs_traces",
     "compare_traces",
     "run_wallclock_benchmark",
     "scalar_keychain",
@@ -467,6 +468,85 @@ def compare_traces(n: int = 512, rounds: int = 12, seed: int = 31) -> dict:
                          "responses": responses.hexdigest()}
     digests["identical"] = digests["scalar"] == digests["batched"]
     return digests
+
+
+def _trace_digest(records) -> str:
+    digest = hashlib.sha256()
+    for rec in records:
+        digest.update(
+            f"{rec.op}:{rec.storage_id}:{rec.round}:{rec.seq}\n".encode())
+    return digest.hexdigest()
+
+
+def compare_obs_traces(n: int = 256, rounds: int = 8, seed: int = 47) -> dict:
+    """Trace neutrality oracle: observability must not change the trace.
+
+    Runs Waffle and all three baselines (Pancake, PathORAM, TaoStore) on
+    fixed-seed workloads twice each — once with observability disabled,
+    once fully enabled — and digests the adversary-visible access
+    sequence from the :class:`RecordingStore`.  Instrumentation that
+    consumes rng draws or adds/perturbs server accesses shows up here as
+    a digest mismatch.  Leaves observability disabled on return.
+    """
+    from repro import obs
+    from repro.baselines.pancake.proxy import PancakeProxy
+    from repro.baselines.pathoram import PathOram
+    from repro.baselines.taostore import TaoStore
+    from repro.workloads.trace import TraceRequest
+
+    keys = [f"user{i:08d}" for i in range(n)]
+
+    def run_waffle() -> str:
+        config = WaffleConfig.paper_defaults(n=n, seed=seed)
+        proxy = _build_proxy(config, KeyChain.from_seed(seed), record=True)
+        for batch in _request_stream(config, rounds, seed):
+            proxy.handle_batch(batch)
+        return _trace_digest(proxy.store.records)
+
+    def run_pancake() -> str:
+        store = RecordingStore(InMemoryStore())
+        proxy = PancakeProxy(
+            keys, {key: b"v" * 32 for key in keys}, [1.0 / n] * n, store,
+            batch_size=32, keychain=KeyChain.from_seed(seed), seed=seed)
+        rng = random.Random(seed + 1)
+        for _ in range(rounds):
+            for _ in range(8):
+                proxy.submit(TraceRequest(Operation.READ,
+                                          keys[rng.randrange(n)]))
+            proxy.process_batch()
+        return _trace_digest(store.records)
+
+    def run_pathoram() -> str:
+        store = RecordingStore(InMemoryStore())
+        oram = PathOram({key: b"v" * 32 for key in keys}, store,
+                        keychain=KeyChain.from_seed(seed), seed=seed)
+        rng = random.Random(seed + 2)
+        for _ in range(rounds * 4):
+            oram.get(keys[rng.randrange(n)])
+        return _trace_digest(store.records)
+
+    def run_taostore() -> str:
+        store = RecordingStore(InMemoryStore())
+        tao = TaoStore({key: b"v" * 32 for key in keys}, store,
+                       keychain=KeyChain.from_seed(seed), seed=seed)
+        rng = random.Random(seed + 3)
+        for _ in range(rounds * 4):
+            tao.submit(TraceRequest(Operation.READ, keys[rng.randrange(n)]))
+            tao.drain()
+        return _trace_digest(store.records)
+
+    out: dict = {}
+    identical = True
+    for name, runner in (("waffle", run_waffle), ("pancake", run_pancake),
+                         ("pathoram", run_pathoram),
+                         ("taostore", run_taostore)):
+        off = runner()
+        with obs.capture():
+            on = runner()
+        out[name] = {"off": off, "on": on, "identical": off == on}
+        identical = identical and off == on
+    out["identical"] = identical
+    return out
 
 
 def run_wallclock_benchmark(n: int = 2048, rounds: int = 30,

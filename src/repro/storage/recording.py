@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs import OBS
 from repro.storage.base import StorageBackend
 
 __all__ = ["AccessRecord", "RecordingStore"]
@@ -64,6 +65,13 @@ class RecordingStore(StorageBackend):
             return
         self.records.append(AccessRecord(op, storage_id, self._round, self._seq))
         self._seq += 1
+        if OBS.enabled:
+            # The live trace of the adversary-visible channel: one event
+            # per access, consumable by AlphaMonitor via
+            # repro.analysis.monitor.attach_monitor.
+            OBS.tracer.event("storage.access", op=op, id=storage_id,
+                             round=self._round)
+            OBS.registry.counter("storage.accesses.total", op=op).inc()
 
     # ------------------------------------------------------------------
     # StorageBackend interface (every path records before delegating)

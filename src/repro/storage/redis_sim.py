@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.errors import DuplicateKeyError, KeyNotFoundError, ProtocolError
+from repro.obs import OBS
 from repro.storage.base import StorageBackend
 
 __all__ = ["Pipeline", "RedisSim"]
@@ -57,6 +58,9 @@ class RedisSim(StorageBackend):
         """
         self.command_count += 1
         name = command[0].upper()
+        if OBS.enabled:
+            OBS.registry.counter("storage.commands.total",
+                                 backend="redis_sim", command=name).inc()
         if name == "GET":
             (key,) = command[1:]
             try:

@@ -56,6 +56,102 @@ class TestAlphaMonitor:
         with pytest.raises(ConfigurationError):
             monitor.observe_write("b", 5)
 
+    def test_report_emitted_exactly_at_window_end_round(self):
+        """The window [0..window_rounds-1] closes on the first event at
+        round window_rounds, not one round early or late."""
+        monitor = AlphaMonitor(alpha_budget=10, window_rounds=10)
+        monitor.observe_write("a", 0)
+        monitor.observe_write("b", 9)   # last round inside the window
+        assert monitor.reports == []    # not closed yet
+        monitor.observe_read("b", 10)   # first event past the boundary
+        reports = monitor.reports
+        assert len(reports) == 1
+        assert reports[0].window_start_round == 0
+        assert reports[0].window_end_round == 9
+        # The read at round 10 belongs to the *next* window.
+        assert reports[0].samples == 0
+
+    def test_breach_latches_across_windows(self):
+        """total_breaches accumulates; clean later windows never reset
+        an earlier window's breach."""
+        monitor = AlphaMonitor(alpha_budget=2, window_rounds=5)
+        monitor.observe_write("a", 0)
+        monitor.observe_read("a", 4)    # alpha 3 > 2: breach in window 0
+        monitor.observe_write("b", 5)
+        monitor.observe_read("b", 7)    # alpha 1: clean window 1
+        monitor.observe_write("c", 20)  # closes windows 1-3
+        reports = monitor.reports
+        assert reports[0].budget_breached
+        assert any(not r.budget_breached for r in reports[1:])
+        assert monitor.total_breaches == \
+            sum(1 for r in reports if r.budget_breached)
+        assert monitor.total_breaches >= 1
+
+    def test_outstanding_aging_under_interleaved_writes(self):
+        """A never-read id keeps aging across windows even while fresh
+        write/read pairs churn through, and flips the breach flag once
+        its age exceeds the budget."""
+        monitor = AlphaMonitor(alpha_budget=4, window_rounds=5)
+        monitor.observe_write("old", 0)
+        for r in range(1, 15):
+            monitor.observe_write(f"w{r}", r)
+            if r >= 2:
+                monitor.observe_read(f"w{r - 1}", r)   # alpha 0 each
+        # Window [0..4] closes with 'old' aged exactly 4: no breach yet.
+        first = monitor.reports[0]
+        assert first.oldest_outstanding_age == 4
+        assert not first.budget_breached
+        aged = [r for r in monitor.reports if r.oldest_outstanding_age > 4]
+        assert aged and all(r.budget_breached for r in aged)
+        assert monitor.outstanding_ids >= 1  # 'old' never read
+
+    def test_attached_monitor_matches_offline_alpha(self):
+        """AlphaMonitor fed live from the tracing stream computes the
+        same alpha samples as the offline batch measurement."""
+        import random
+        from repro import obs
+        from repro.analysis.monitor import attach_monitor
+        from repro.analysis.uniformity import measure_alpha
+        from repro.core.batch import ClientRequest
+        from repro.core.config import WaffleConfig
+        from repro.core.datastore import WaffleDatastore
+        from repro.crypto.keys import KeyChain
+        from repro.workloads.trace import Operation
+        from tests.conftest import make_items
+
+        class CollectingMonitor(AlphaMonitor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.alphas = []
+
+            def observe_read(self, storage_id, round_index):
+                alpha = super().observe_read(storage_id, round_index)
+                if alpha is not None:
+                    self.alphas.append(alpha)
+                return alpha
+
+        n = 120
+        config = WaffleConfig(n=n, b=16, r=6, f_d=4, d=40, c=16,
+                              value_size=64, seed=21)
+        with obs.capture() as handle:
+            monitor = CollectingMonitor(alpha_budget=10**6,
+                                        window_rounds=10)
+            # Attached before the datastore exists so the live stream
+            # includes initialization writes, like the offline records.
+            attach_monitor(handle.tracer, monitor)
+            datastore = WaffleDatastore(config, make_items(n),
+                                        keychain=KeyChain.from_seed(22))
+            rng = random.Random(23)
+            for _ in range(40):
+                datastore.execute_batch([
+                    ClientRequest(op=Operation.READ,
+                                  key=f"user{rng.randrange(n):08d}")
+                    for _ in range(config.r)
+                ])
+        offline = measure_alpha(datastore.recorder.records)
+        assert sorted(monitor.alphas) == sorted(offline.alphas)
+        assert monitor.outstanding_ids == offline.unread_ids
+
     def test_feed_records_matches_offline_measurement(self):
         """The online monitor agrees with the offline measure_alpha."""
         import random

@@ -1,0 +1,80 @@
+"""The zero-cost-when-disabled contract of the observability layer.
+
+A naive A/B wall-clock comparison (run ``handle_batch`` with obs off
+twice and demand <3% delta) flakes on shared CI machines, because 3% is
+well inside scheduler noise.  Instead this file pins the contract the
+way it is actually guaranteed:
+
+* architecturally — the disabled path allocates nothing, records nothing
+  and returns a shared singleton span; and
+* arithmetically — the measured cost of one ``if OBS.enabled`` guard,
+  multiplied by a *generous* over-estimate of guards per round, stays
+  under 3% of a measured round's wall time.
+
+Both facts are noise-robust: the first is exact, the second compares a
+nanosecond-scale branch against a millisecond-scale round.
+"""
+
+import time
+
+from repro import obs
+from repro.core.config import WaffleConfig
+from repro.crypto.keys import KeyChain
+from repro.obs.trace import NULL_SPAN
+from repro.sim.perf import _build_proxy, _request_stream
+
+
+def test_disabled_span_is_shared_singleton():
+    obs.disable()
+    assert obs.OBS.span("round") is NULL_SPAN
+    assert obs.OBS.span("phase.derive", writes=64) is NULL_SPAN
+
+
+def test_disabled_round_records_nothing():
+    """A full instrumented round with obs off must not touch the
+    registry or the tracer — not even to create empty series."""
+    obs.enable()  # fresh registry/tracer...
+    obs.disable()  # ...then off
+    config = WaffleConfig.paper_defaults(n=256, seed=7)
+    proxy = _build_proxy(config, KeyChain.from_seed(7))
+    for batch in _request_stream(config, 3, 7):
+        proxy.handle_batch(batch)
+    assert len(obs.OBS.registry) == 0
+    assert obs.OBS.tracer.records == []
+
+
+def test_disabled_guard_overhead_under_three_percent():
+    """guard_cost x guards_per_round < 3% of one round's wall time.
+
+    Guards per round is over-counted on purpose: 8 phase checks plus the
+    per-round counter block, ~8 kernel-wrapper checks, and up to four
+    per-access checks for every one of the B reads and B+ writes
+    (recording + storage command layers) — even though this test's proxy
+    runs on an uninstrumented in-memory store, so the true count is far
+    lower.
+    """
+    obs.disable()
+    handle = obs.OBS
+
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        if handle.enabled:  # the guard under test, never taken
+            raise AssertionError("observability must be disabled here")
+    per_guard = (time.perf_counter() - start) / reps
+
+    config = WaffleConfig.paper_defaults(n=512, seed=13)
+    proxy = _build_proxy(config, KeyChain.from_seed(13))
+    best_round = float("inf")
+    for batch in _request_stream(config, 8, 13):
+        t0 = time.perf_counter()
+        proxy.handle_batch(batch)
+        best_round = min(best_round, time.perf_counter() - t0)
+
+    guards_per_round = 8 * config.b + 64
+    overhead = per_guard * guards_per_round
+    assert overhead < 0.03 * best_round, (
+        f"disabled-observability guard budget blown: {overhead * 1e6:.2f}us "
+        f"predicted over {guards_per_round} guards vs round "
+        f"{best_round * 1e6:.2f}us"
+    )

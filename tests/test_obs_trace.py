@@ -1,0 +1,123 @@
+"""Tests for the structured tracing layer (spans, events, sinks)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class TestTracer:
+    def test_span_context_manager_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("round", system="waffle") as span:
+            span.set(requests=8)
+        (record,) = tracer.spans("round")
+        assert record["kind"] == "span"
+        assert record["dur"] >= 0.0
+        assert record["attrs"] == {"system": "waffle", "requests": 8}
+
+    def test_span_records_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("phase.decrypt"):
+                raise RuntimeError("boom")
+        (record,) = tracer.spans("phase.decrypt")
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_events_and_filtering(self):
+        tracer = Tracer()
+        tracer.event("storage.access", op="read", id="abc")
+        tracer.event("ha.failover")
+        tracer.record_span("round", 0.5)
+        assert len(tracer.events()) == 2
+        assert len(tracer.events("ha.failover")) == 1
+        assert len(tracer.spans()) == 1
+
+    def test_sequence_numbers_are_monotone(self):
+        tracer = Tracer()
+        for _ in range(5):
+            tracer.event("tick")
+        assert [r["seq"] for r in tracer.records] == [0, 1, 2, 3, 4]
+
+    def test_buffer_cap_drops_oldest(self):
+        tracer = Tracer(max_records=10)
+        for i in range(15):
+            tracer.event("tick", i=i)
+        assert len(tracer.records) <= 10
+        assert tracer.dropped > 0
+        # The newest record always survives.
+        assert tracer.records[-1]["attrs"]["i"] == 14
+
+    def test_jsonl_file_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path=str(path))
+        tracer.event("storage.access", op="write", id="x", round=3)
+        tracer.record_span("round", 0.01, system="waffle")
+        tracer.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["name"] == "storage.access"
+        assert lines[1]["dur"] == 0.01
+
+    def test_subscribe_and_unsubscribe(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.event("a")
+        tracer.unsubscribe(seen.append)
+        tracer.event("b")
+        assert len(seen) == 1
+        tracer.unsubscribe(seen.append)  # absent: no-op
+
+
+class TestObservabilityHandle:
+    def test_disabled_span_is_shared_null_singleton(self):
+        obs.disable()
+        assert obs.OBS.span("round") is NULL_SPAN
+        assert obs.OBS.span("other", x=1) is NULL_SPAN
+        with obs.OBS.span("round") as span:
+            span.set(anything=1)  # all no-ops
+
+    def test_disabled_helpers_record_nothing(self):
+        obs.enable()  # reset to fresh registry/tracer...
+        obs.disable()  # ...then switch off
+        obs.OBS.event("storage.access", op="read")
+        obs.OBS.observe_span("round", 0.5)
+        assert len(obs.OBS.tracer.records) == 0
+        assert len(obs.OBS.registry) == 0
+
+    def test_capture_enables_and_disables(self):
+        obs.disable()
+        with obs.capture() as handle:
+            assert handle is obs.OBS
+            assert handle.enabled
+            with handle.span("round", system="waffle"):
+                pass
+            handle.observe_span("phase.plan", 0.002,
+                                labels={"system": "waffle"})
+        assert not obs.OBS.enabled
+        assert len(obs.OBS.tracer.spans("round")) == 1
+        hist = obs.OBS.registry.histogram("phase.plan.seconds",
+                                          system="waffle")
+        assert hist.count == 1
+
+    def test_observe_kernel_records_three_series(self):
+        with obs.capture() as handle:
+            handle.observe_kernel("prf.derive_many", 0.004, items=128)
+        snap = handle.registry.snapshot()
+        assert snap["counters"]["kernel.prf.derive_many.calls.total"] == 1
+        assert snap["counters"]["kernel.prf.derive_many.items.total"] == 128
+        assert snap["histograms"]["kernel.prf.derive_many.seconds"]["count"] == 1
+
+    def test_enable_reset_semantics(self):
+        obs.enable()
+        obs.OBS.registry.counter("x").inc()
+        obs.disable()
+        obs.enable(reset=False)
+        assert obs.OBS.registry.counter("x").value == 1
+        obs.disable()
+        obs.enable()  # reset=True default
+        assert obs.OBS.registry.counter("x").value == 0
+        obs.disable()

@@ -91,6 +91,20 @@ class TestThroughputMeter:
         with pytest.raises(ValueError):
             ThroughputMeter().record(-1, now=0.0)
 
+    def test_single_instant_burst_is_infinite(self):
+        """Ops completed in a zero-length window: the rate is unbounded,
+        not zero (the old behaviour hid the burst entirely)."""
+        meter = ThroughputMeter()
+        meter.record(100, now=5.0)
+        assert meter.ops_per_second() == math.inf
+        meter.record(50, now=5.0)  # still a zero-length window
+        assert meter.ops_per_second() == math.inf
+
+    def test_zero_ops_degenerate_window_is_zero(self):
+        meter = ThroughputMeter()
+        meter.record(0, now=5.0)
+        assert meter.ops_per_second() == 0.0
+
 
 class TestLatencyRecorder:
     def test_summary_percentiles(self):
@@ -113,3 +127,8 @@ class TestLatencyRecorder:
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):
             LatencyRecorder().record(-0.1)
+
+    def test_latency_summary_is_exported(self):
+        from repro.sim import LatencySummary
+
+        assert type(LatencyRecorder().summary()) is LatencySummary
