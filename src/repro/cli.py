@@ -88,6 +88,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stream the JSONL trace to this file")
     obs_p.add_argument("--prom-out", default=None,
                        help="write a Prometheus text snapshot to this file")
+
+    chaos = sub.add_parser(
+        "chaos", help="run seeded chaos episodes through the differential "
+                      "oracle (fault injection + HA failover)")
+    chaos.add_argument("--episodes", type=int, default=100,
+                       help="number of episodes to sweep (default 100)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed; episode i uses seed + i")
+    chaos.add_argument("--ha", choices=["both", "replicated", "quorum"],
+                       default="both", help="HA modes to alternate through")
+    chaos.add_argument("--steps", type=int, default=16,
+                       help="scheduling slots per episode")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the sweep report as JSON")
+    chaos.add_argument("--save-failure", default=None, metavar="PATH",
+                       help="write the first failing episode (shrunk unless "
+                            "--no-shrink) as a JSON reproducer")
+    chaos.add_argument("--replay", default=None, metavar="PATH",
+                       help="run one episode from a reproducer file instead "
+                            "of sweeping")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="skip minimizing failing episodes")
     return parser
 
 
@@ -237,6 +259,69 @@ def _run_obs(args) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    from pathlib import Path
+
+    from repro.testing import (
+        Episode,
+        run_episode,
+        run_sweep,
+        shrink_episode,
+    )
+
+    if args.replay is not None:
+        episode = Episode.from_json(Path(args.replay))
+        result = run_episode(episode)
+        if args.json:
+            print(json.dumps({
+                "ok": result.ok,
+                "rounds_committed": result.rounds_committed,
+                "failovers": result.failovers,
+                "aborted_attempts": result.aborted_attempts,
+                "violations": [vars(v) for v in result.violations],
+            }, indent=2))
+        else:
+            print(f"episode seed {episode.seed} ({episode.ha_mode}): "
+                  + ("OK" if result.ok else "FAILED"))
+            for violation in result.violations:
+                print(f"  {violation}")
+        return 0 if result.ok else 1
+
+    modes = (("replicated", "quorum") if args.ha == "both"
+             else (args.ha,))
+    report = run_sweep(episodes=args.episodes, base_seed=args.seed,
+                       ha_modes=modes, steps=args.steps)
+    if args.json:
+        print(json.dumps({
+            "episodes": report.episodes,
+            "rounds_committed": report.rounds_committed,
+            "failovers": report.failovers,
+            "aborted_attempts": report.aborted_attempts,
+            "faults_injected": report.faults_injected,
+            "failures": [
+                {"seed": episode.seed, "ha_mode": episode.ha_mode,
+                 "violations": [vars(v) for v in violations]}
+                for episode, violations in report.failures
+            ],
+        }, indent=2))
+    else:
+        print(report.describe())
+    if report.ok:
+        return 0
+    episode, _ = report.failures[0]
+    if not args.no_shrink:
+        shrunk = shrink_episode(
+            episode, lambda e: not run_episode(e).ok)
+        episode = shrunk.episode
+        print(f"first failure shrunk: {shrunk.initial_size} -> "
+              f"{shrunk.final_size} operations "
+              f"({shrunk.evaluations} evaluations)")
+    if args.save_failure:
+        episode.to_json(args.save_failure)
+        print(f"reproducer -> {args.save_failure}")
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -251,6 +336,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_audit(args)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     return _show_bounds(args)
 
 

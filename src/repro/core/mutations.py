@@ -62,6 +62,15 @@ class MutationQueue:
                    for _ in range(min(delete_limit, len(self._deletes)))]
         return inserts, deletes
 
+    def has_insert(self, key: str) -> bool:
+        """Whether an insert of ``key`` is pending (client retries are
+        idempotent: a resubmitted mutation that already survived — e.g.
+        inside a promoted standby's snapshot — must not enqueue twice)."""
+        return any(k == key for k, _ in self._inserts)
+
+    def has_delete(self, key: str) -> bool:
+        return key in self._deletes
+
     @property
     def pending_inserts(self) -> int:
         return len(self._inserts)

@@ -52,7 +52,6 @@ from repro.crypto.keys import KeyChain
 from repro.ds.lru import LruCache
 from repro.errors import ConfigurationError, ProtocolError
 from repro.storage.base import StorageBackend
-from repro.storage.recording import RecordingStore
 from repro.workloads.trace import Operation
 
 __all__ = ["RoundStats", "WaffleProxy"]
@@ -232,9 +231,11 @@ class WaffleProxy:
         dummy_index = self._dummy_index
         self.ts += 1
         stats = RoundStats(round=self.ts, requests=len(requests))
-        recording = self.store if isinstance(self.store, RecordingStore) else None
-        if recording is not None:
-            recording.next_round()
+        # Duck-typed so fault-injection and other wrappers stacked above a
+        # RecordingStore can forward the round boundary.
+        next_round = getattr(self.store, "next_round", None)
+        if next_round is not None:
+            next_round()
         # Observability: phase boundaries are perf_counter readings taken
         # only when enabled; the disabled path costs one branch per phase
         # (the zero-cost contract pinned by tests/test_obs_overhead.py).
@@ -380,10 +381,14 @@ class WaffleProxy:
             obs.observe_span("phase.plan", _t1 - _t0,
                              labels={"system": "waffle"}, round=self.ts)
 
-        # One pipelined read of B ids, then delete them (read-once ids).
+        # One pipelined read of B ids.  Their deletion (read-once ids) is
+        # deferred into the end-of-round commit_round so that a crash
+        # anywhere in the round leaves the server untouched by it — the
+        # property snapshot-based failover recovery relies on.  The
+        # adversary-visible trace is unchanged: reads, then deletes, then
+        # writes, once per round.
         sids = sorted(read_batch)
         blobs = self.store.multi_get(sids)
-        self.store.multi_delete(sids)
         stats.server_reads = len(sids)
         stats.server_deletes = len(sids)
         if observing:
@@ -495,7 +500,7 @@ class WaffleProxy:
             obs.observe_span("phase.derive", _t6 - _t5,
                              labels={"system": "waffle"}, round=self.ts,
                              writes=len(write_batch))
-        self.store.multi_put(write_batch)
+        self.store.commit_round(sids, write_batch)
         stats.server_writes = len(write_batch)
         dummy_index.end_round(self.ts)
         if observing:

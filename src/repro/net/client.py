@@ -11,6 +11,11 @@ import socket
 import threading
 from typing import Iterable, Sequence
 
+from repro.errors import (
+    ConnectionDroppedError,
+    PartialReplyError,
+    StorageTimeoutError,
+)
 from repro.net.protocol import (
     _WireError,
     decode_message,
@@ -52,9 +57,18 @@ class RemoteStore(StorageBackend):
     # request plumbing
     # ------------------------------------------------------------------
     def _call(self, message):
-        with self._lock:
-            write_frame(self._sock, encode_message(message))
-            reply = decode_message(read_frame(self._sock))
+        # Socket failures map onto the library taxonomy so callers can
+        # tell retryable transport faults from fatal protocol breaks.
+        try:
+            with self._lock:
+                write_frame(self._sock, encode_message(message))
+                reply = decode_message(read_frame(self._sock))
+        except TimeoutError as error:
+            raise StorageTimeoutError(
+                f"no reply within {self._sock.gettimeout()}s"
+            ) from error
+        except ConnectionError as error:
+            raise ConnectionDroppedError(str(error)) from error
         if isinstance(reply, _WireError):
             reply.raise_()
         return reply
@@ -84,6 +98,8 @@ class RemoteStore(StorageBackend):
         replies = self._call(["PIPELINE", *commands])
         if isinstance(replies, _WireError):  # pragma: no cover
             replies.raise_()
+        if len(replies) != len(keys):
+            raise PartialReplyError(expected=len(keys), got=len(replies))
         return replies
 
     def multi_put(self, items: Iterable[tuple[str, bytes]]) -> None:
@@ -93,5 +109,15 @@ class RemoteStore(StorageBackend):
 
     def multi_delete(self, keys: Sequence[str]) -> None:
         commands = [["DEL", key] for key in keys]
+        if commands:
+            self._call(["PIPELINE", *commands])
+
+    def commit_round(self, deletes: Sequence[str],
+                     puts: Sequence[tuple[str, bytes]]) -> None:
+        # Ship the whole round commit as one pipeline frame: the server
+        # applies it within a single dispatch, so a connection lost before
+        # the frame is sent leaves the round entirely unapplied.
+        commands = [["DEL", key] for key in deletes]
+        commands += [["SET", key, bytes(value)] for key, value in puts]
         if commands:
             self._call(["PIPELINE", *commands])

@@ -66,3 +66,20 @@ class StorageBackend(ABC):
         """Delete every key in ``keys``."""
         for key in keys:
             self.delete(key)
+
+    def commit_round(self, deletes: Sequence[str],
+                     puts: Sequence[tuple[str, bytes]]) -> None:
+        """Apply one batch round's mutations: deletes, then writes.
+
+        Waffle's proxy commits all of a round's server mutations through
+        this single operation so that a proxy crash mid-round leaves the
+        server either untouched by the round or holding its complete
+        effect — the property snapshot-based failover recovery relies on
+        (a recovered proxy deterministically replays the round, which is
+        only safe if the aborted attempt consumed no read-once ids and
+        wrote no write-once ids).  The default composes the batched
+        primitives; transactional backends (or network stubs that ship
+        the round as one pipeline) override it.
+        """
+        self.multi_delete(deletes)
+        self.multi_put(puts)

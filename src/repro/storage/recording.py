@@ -110,6 +110,17 @@ class RecordingStore(StorageBackend):
             self._record("delete", key)
         self._inner.multi_delete(keys)
 
+    def commit_round(self, deletes: Sequence[str],
+                     puts: Sequence[tuple[str, bytes]]) -> None:
+        # The adversary sees the same access sequence whether the round
+        # commits atomically or as separate delete/write batches.
+        puts = list(puts)
+        for key in deletes:
+            self._record("delete", key)
+        for key, _ in puts:
+            self._record("write", key)
+        self._inner.commit_round(deletes, puts)
+
     def clear_records(self) -> None:
         """Drop the trace collected so far (keeps round/seq counters)."""
         self.records = []

@@ -136,6 +136,16 @@ class RedisSim(StorageBackend):
             pipe.enqueue(("DEL", key))
         pipe.flush()
 
+    def commit_round(self, deletes: Sequence[str],
+                     puts: Sequence[tuple[str, bytes]]) -> None:
+        # One pipeline = one round trip for the whole round commit.
+        pipe = self.pipeline()
+        for key in deletes:
+            pipe.enqueue(("DEL", key))
+        for key, value in puts:
+            pipe.enqueue(("SET", key, value))
+        pipe.flush()
+
 
 class Pipeline:
     """Buffers commands and executes them in one flush.

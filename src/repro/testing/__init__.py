@@ -1,0 +1,61 @@
+"""Chaos conformance harness: deterministic fault injection plus a
+differential oracle over Waffle's correctness *and* obliviousness.
+
+The pieces compose bottom-up:
+
+* :mod:`repro.testing.faults` — seeded :class:`FaultPlan` schedules and
+  the :class:`FaultyStorage`/:class:`FaultyTransport` wrappers that
+  execute them;
+* :mod:`repro.testing.episodes` — randomized, validated, serializable
+  chaos scenarios (:class:`Episode`, :func:`generate_episode`);
+* :mod:`repro.testing.runner` — executes an episode against the real
+  stack with HA failover recovery (:func:`run_episode`);
+* :mod:`repro.testing.oracle` — the invariants: differential KV
+  semantics, replay-prefix obliviousness, constant batch composition,
+  id lifecycle, α/β uniformity;
+* :mod:`repro.testing.shrink` — ddmin minimizer for failing episodes;
+* :mod:`repro.testing.sweep` — seeded many-episode CI sweeps.
+
+Entry points: ``repro.cli chaos`` and ``tests/test_chaos_*.py``.
+"""
+
+from repro.testing.episodes import (
+    DEFAULT_CONFIG,
+    Episode,
+    chaos_config,
+    generate_episode,
+)
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultyStorage,
+    FaultyTransport,
+    InjectedFault,
+    PassthroughStore,
+)
+from repro.testing.oracle import Attempt, Violation
+from repro.testing.runner import EpisodeResult, run_episode
+from repro.testing.shrink import ShrinkResult, shrink_episode
+from repro.testing.sweep import DEFAULT_PROFILES, SweepReport, run_sweep
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DEFAULT_PROFILES",
+    "Attempt",
+    "Episode",
+    "EpisodeResult",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultyStorage",
+    "FaultyTransport",
+    "InjectedFault",
+    "PassthroughStore",
+    "ShrinkResult",
+    "SweepReport",
+    "Violation",
+    "chaos_config",
+    "generate_episode",
+    "run_episode",
+    "run_sweep",
+    "shrink_episode",
+]

@@ -1,0 +1,158 @@
+"""Minimizing failing chaos episodes (delta debugging).
+
+When a sweep finds a violating episode, raw reproducers are big — dozens
+of operations and fault entries, most irrelevant to the bug.  The
+shrinker reduces the episode while a caller-supplied predicate keeps
+failing, using ddmin (Zeller & Hildebrandt) over three axes in order:
+
+1. whole operations (batches, crashes, standby churn, mutations),
+2. requests inside each surviving batch,
+3. fault-plan entries.
+
+Candidates that no longer validate (:meth:`Episode.validate` — e.g. a
+batch reading a key whose insert was removed) are treated as *passing*
+so the search never leaves the space of well-formed episodes; the
+result is always a valid episode the predicate still fails.
+
+Determinism note: shrinking never reseeds.  The reduced episode replays
+with the same proxy seed and the same fault plan indices, so the
+predicate evaluates the same system behaviour minus the removed
+operations — which is what makes a 2-operation reproducer of a
+40-operation failure trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.testing.episodes import Episode
+from repro.testing.faults import FaultPlan
+
+__all__ = ["ShrinkResult", "shrink_episode"]
+
+
+@dataclass(slots=True)
+class ShrinkResult:
+    """A minimized episode plus the search's bookkeeping."""
+
+    episode: Episode
+    evaluations: int
+    initial_size: int
+    final_size: int
+
+
+class _Budget:
+    """Caps predicate evaluations so shrinking stays CI-friendly."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def _ddmin(items: list, still_fails: Callable[[list], bool],
+           budget: _Budget) -> list:
+    """Classic ddmin: smallest sublist (wrt removal) that still fails."""
+    granularity = 2
+    current = list(items)
+    while len(current) >= 2 and budget.spent < budget.limit:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and budget.take() and still_fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def _with_ops(episode: Episode, ops: list[dict]) -> Episode:
+    return replace(episode, ops=[dict(op) for op in ops])
+
+
+def _valid_and_fails(episode: Episode,
+                     failing: Callable[[Episode], bool]) -> bool:
+    return episode.validate() is None and failing(episode)
+
+
+def shrink_episode(episode: Episode,
+                   failing: Callable[[Episode], bool],
+                   max_evaluations: int = 400) -> ShrinkResult:
+    """Minimize ``episode`` while ``failing`` stays true.
+
+    ``failing`` takes an :class:`Episode` and returns True when the
+    behaviour under investigation still reproduces (typically: the
+    runner reports at least one violation).  The original episode must
+    fail; otherwise it is returned untouched.
+    """
+    initial_size = episode.operation_count
+    if not _valid_and_fails(episode, failing):
+        return ShrinkResult(episode, 1, initial_size, initial_size)
+    budget = _Budget(max_evaluations)
+    current = episode
+
+    # Pass 1: whole operations.
+    ops = _ddmin(
+        current.ops,
+        lambda candidate: _valid_and_fails(_with_ops(current, candidate),
+                                           failing),
+        budget)
+    current = _with_ops(current, ops)
+
+    # Pass 2: requests inside each batch (one batch at a time).
+    for position, op in enumerate(current.ops):
+        if op["type"] != "batch" or len(op["requests"]) <= 1:
+            continue
+
+        def fails_with_requests(requests: Sequence,
+                                _position: int = position) -> bool:
+            ops = [dict(o) for o in current.ops]
+            ops[_position]["requests"] = [list(r) for r in requests]
+            return _valid_and_fails(_with_ops(current, ops), failing)
+
+        kept = _ddmin(op["requests"], fails_with_requests, budget)
+        ops = [dict(o) for o in current.ops]
+        ops[position]["requests"] = [list(r) for r in kept]
+        current = _with_ops(current, ops)
+
+    # Pass 3: fault-plan entries.
+    entries = sorted(current.faults.faults.items())
+    if len(entries) > 1:
+
+        def fails_with_faults(kept: Sequence) -> bool:
+            candidate = replace(current, faults=FaultPlan(faults=dict(kept)))
+            return _valid_and_fails(candidate, failing)
+
+        kept = _ddmin(entries, fails_with_faults, budget)
+        current = replace(current, faults=FaultPlan(faults=dict(kept)))
+
+    # Individual-removal polish on operations (ddmin can plateau).
+    changed = True
+    while changed and budget.spent < budget.limit:
+        changed = False
+        for position in range(len(current.ops) - 1, -1, -1):
+            if len(current.ops) == 1:
+                break
+            candidate_ops = (current.ops[:position]
+                             + current.ops[position + 1:])
+            if budget.take() and _valid_and_fails(
+                    _with_ops(current, candidate_ops), failing):
+                current = _with_ops(current, candidate_ops)
+                changed = True
+    return ShrinkResult(current, budget.spent, initial_size,
+                        current.operation_count)

@@ -1,0 +1,181 @@
+"""Batched-operation routing: ordering and stability guarantees.
+
+The batch round's obliviousness proof assumes the storage layer is a
+plain ordered KV pipeline: ``multi_get`` returns values positionally
+aligned with its input, ``commit_round`` applies deletes before writes,
+and routing is a pure function of the key.  These tests pin those
+contracts on the composite backends (:class:`ShardedStore`) and on the
+scale-out request router (:class:`PartitionedWaffle`), where grouping
+by shard/partition makes ordering bugs easiest to introduce.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import ClientRequest
+from repro.core.config import WaffleConfig
+from repro.errors import KeyNotFoundError
+from repro.scaleout import PartitionedWaffle
+from repro.storage.memory import InMemoryStore
+from repro.storage.redis_sim import RedisSim
+from repro.storage.sharded import ShardedStore
+from repro.workloads.trace import Operation
+
+
+def build_sharded(shards=4, write_once=False):
+    return ShardedStore([RedisSim(write_once=write_once)
+                         for _ in range(shards)])
+
+
+def spanning_keys(store, count_per_shard=3):
+    """Keys chosen so every shard owns at least ``count_per_shard``."""
+    buckets: dict[int, list[str]] = {}
+    i = 0
+    while min((len(b) for b in buckets.values()), default=0) \
+            < count_per_shard or len(buckets) < store.shard_count:
+        key = f"span{i:06d}"
+        buckets.setdefault(store.shard_index(key), []).append(key)
+        i += 1
+    # Interleave shards round-robin so consecutive positions in the
+    # batch land on different shards — the order-restoration stressor.
+    out = []
+    for depth in range(count_per_shard):
+        for index in sorted(buckets):
+            out.append(buckets[index][depth])
+    return out
+
+
+class TestShardedBatching:
+    def test_multi_get_restores_request_order(self):
+        store = build_sharded()
+        keys = spanning_keys(store)
+        store.multi_put([(k, f"v-{k}".encode()) for k in keys])
+        shuffled = list(keys)
+        random.Random(0).shuffle(shuffled)
+        values = store.multi_get(shuffled)
+        assert values == [f"v-{k}".encode() for k in shuffled]
+
+    def test_multi_get_duplicate_keys_in_one_batch(self):
+        store = build_sharded()
+        keys = spanning_keys(store, count_per_shard=1)
+        store.multi_put([(k, k.encode()) for k in keys])
+        batch = keys + keys[::-1]
+        assert store.multi_get(batch) == [k.encode() for k in batch]
+
+    def test_multi_delete_routes_to_owning_shard(self):
+        store = build_sharded()
+        keys = spanning_keys(store)
+        store.multi_put([(k, b"x") for k in keys])
+        store.multi_delete(keys[: len(keys) // 2])
+        for key in keys[: len(keys) // 2]:
+            assert key not in store
+        for key in keys[len(keys) // 2:]:
+            assert key in store
+        assert len(store) == len(keys) - len(keys) // 2
+
+    def test_commit_round_deletes_before_writes(self):
+        # Waffle rewrites read-once ids under fresh timestamps in the
+        # same round; on a write-once server the delete must land first.
+        store = build_sharded(write_once=True)
+        keys = spanning_keys(store)
+        store.multi_put([(k, b"old") for k in keys])
+        store.commit_round(keys, [(k, b"new") for k in keys])
+        assert store.multi_get(keys) == [b"new"] * len(keys)
+
+    def test_commit_round_missing_delete_surfaces(self):
+        store = build_sharded()
+        with pytest.raises(KeyNotFoundError):
+            store.commit_round(["never-written"], [])
+
+    def test_shard_index_stable_across_instances(self):
+        # Placement must be derivable from the key alone: a restarted
+        # proxy (or a second client) building a fresh ShardedStore over
+        # the same shard machines has to find every object where the
+        # first instance put it.
+        first = build_sharded(shards=5)
+        second = ShardedStore([InMemoryStore() for _ in range(5)])
+        keys = [f"k{i:05d}" for i in range(500)]
+        assert [first.shard_index(k) for k in keys] \
+            == [second.shard_index(k) for k in keys]
+
+    def test_shard_index_depends_on_shard_count(self):
+        store3 = build_sharded(shards=3)
+        store7 = build_sharded(shards=7)
+        keys = [f"k{i:05d}" for i in range(500)]
+        assert any(store3.shard_index(k) != store7.shard_index(k)
+                   for k in keys)
+
+
+PER_PARTITION = 60
+PARTITIONS = 3
+CONFIG = WaffleConfig(n=PER_PARTITION, b=12, r=4, f_d=3, d=24, c=16,
+                      value_size=48, seed=11)
+
+
+def build_partitioned():
+    candidates = (f"pkey{i:08d}" for i in range(100_000))
+    keys = PartitionedWaffle.plan_partitions(candidates, PER_PARTITION,
+                                             PARTITIONS, master_seed=4)
+    items = {key: b"val-" + key.encode() for key in keys}
+    store = PartitionedWaffle(CONFIG, items, PARTITIONS, master_seed=4)
+    return store, keys
+
+
+class TestPartitionedBatchOrdering:
+    def test_interleaved_partitions_return_in_request_order(self):
+        store, _ = build_partitioned()
+        by_partition: dict[int, list[str]] = {}
+        for datastore in store.stores:
+            for key in datastore.proxy.cache.keys():
+                by_partition.setdefault(store.partition_of(key),
+                                        []).append(key)
+        # Alternate partitions position by position.
+        sample = []
+        for depth in range(3):
+            for index in range(PARTITIONS):
+                sample.append(by_partition[index][depth])
+        responses = store.execute_batch([
+            ClientRequest(op=Operation.READ, key=key) for key in sample])
+        assert [r.key for r in responses] == sample
+        assert [r.value for r in responses] \
+            == [b"val-" + k.encode() for k in sample]
+
+    def test_share_larger_than_r_chunks_into_rounds(self):
+        store, keys = build_partitioned()
+        target = store.partition_of(keys[0])
+        owned = [k for k in keys if store.partition_of(k) == target]
+        sample = owned[: CONFIG.r * 2 + 1]  # forces three rounds
+        assert len(sample) > CONFIG.r
+        before = store.rounds_per_partition()[target]
+        responses = store.execute_batch([
+            ClientRequest(op=Operation.READ, key=key) for key in sample])
+        assert [r.key for r in responses] == sample
+        assert store.rounds_per_partition()[target] == before + 3
+
+    def test_mixed_read_write_batch_read_your_writes(self):
+        store, keys = build_partitioned()
+        sample = [k for k in keys][:6]
+        batch, expected = [], []
+        for i, key in enumerate(sample):
+            value = b"new-%02d" % i
+            batch.append(ClientRequest(op=Operation.WRITE, key=key,
+                                       value=value))
+            expected.append(value)
+            batch.append(ClientRequest(op=Operation.READ, key=key))
+            expected.append(value)
+        responses = store.execute_batch(batch)
+        assert [r.value for r in responses] == expected
+
+    def test_routing_matches_fresh_router_instance(self):
+        store, keys = build_partitioned()
+        rebuilt, _ = build_partitioned()
+        assert [store.partition_of(k) for k in keys] \
+            == [rebuilt.partition_of(k) for k in keys]
+        other = PartitionedWaffle.__new__(PartitionedWaffle)
+        other.partitions = PARTITIONS
+        other._route_key = store._route_key
+        assert [other.partition_of(k) for k in keys] \
+            == [store.partition_of(k) for k in keys]

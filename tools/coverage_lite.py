@@ -1,0 +1,99 @@
+"""Stdlib-only line-coverage measurement for the repro package.
+
+CI measures coverage with ``pytest --cov`` (coverage.py); this tool
+exists for environments where coverage.py is not installed — it answers
+the one question the CI gate asks ("what fraction of executable lines in
+``src/repro`` does the suite execute?") using nothing but
+``sys.settrace``.
+
+Usage::
+
+    python tools/coverage_lite.py [pytest args...]
+    # e.g. python tools/coverage_lite.py -q tests/test_storage.py
+
+Numbers track coverage.py closely but not exactly (coverage.py excludes
+``pragma: no cover`` arcs and handles some compiler-folded lines
+differently), so treat the output as a floor estimate: the CI
+``--cov-fail-under`` threshold should sit a few points below it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src", "repro")
+
+_hits: dict[str, set[int]] = {}
+
+
+def _trace(frame, event, arg):
+    filename = frame.f_code.co_filename
+    if not filename.startswith(SRC):
+        return None
+    lines = _hits.setdefault(filename, set())
+
+    def local(frame, event, arg):
+        if event == "line":
+            lines.add(frame.f_lineno)
+        return local
+
+    if event == "line":  # module-level frames start mid-stream
+        lines.add(frame.f_lineno)
+    return local
+
+
+def _executable_lines(path: str) -> set[int]:
+    """All line numbers the compiler emits code for in ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        code = compile(handle.read(), path, "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(line for _, _, line in obj.co_lines() if line)
+        stack.extend(c for c in obj.co_consts if hasattr(c, "co_lines"))
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    import pytest
+
+    threading.settrace(_trace)
+    sys.settrace(_trace)
+    try:
+        exit_code = pytest.main(argv or ["-q"])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    total_exec = total_hit = 0
+    rows = []
+    for root, _, files in os.walk(SRC):
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            executable = _executable_lines(path)
+            hit = _hits.get(path, set()) & executable
+            total_exec += len(executable)
+            total_hit += len(hit)
+            pct = 100.0 * len(hit) / len(executable) if executable else 100.0
+            rows.append((os.path.relpath(path, REPO), len(executable),
+                         len(executable) - len(hit), pct))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"\n{'file':{width}}  stmts  miss  cover")
+    for path, stmts, miss, pct in rows:
+        print(f"{path:{width}}  {stmts:5d}  {miss:4d}  {pct:5.1f}%")
+    overall = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"{'TOTAL':{width}}  {total_exec:5d}  {total_exec - total_hit:4d}"
+          f"  {overall:5.1f}%")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
