@@ -15,7 +15,7 @@ Quickstart::
     config = WaffleConfig.paper_defaults(n=1000, seed=7)
     store = WaffleDatastore(config, items)
     client = WaffleClient(store)
-    print(client.get_now("user00000042"))
+    value = client.get_now("user00000042")   # report via repro.obs.export
 """
 
 from repro.core.client import WaffleClient

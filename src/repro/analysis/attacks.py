@@ -21,12 +21,12 @@ Two attacks from the paper's threat narrative:
 
 from __future__ import annotations
 
-import random
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.seeding import seeded_rng
 from repro.storage.recording import AccessRecord
 
 __all__ = [
@@ -165,7 +165,7 @@ def cooccurrence_attack(records: list[AccessRecord],
     model /= model.sum()
 
     key_index = {key: i for i, key in enumerate(keys)}
-    rng = random.Random(seed)
+    rng = seeded_rng(seed)
     in_truth = [i for i, sid in enumerate(ids) if sid in truth]
     known_count = max(1, int(known_fraction * len(in_truth))) if in_truth else 0
     known = set(rng.sample(in_truth, known_count)) if in_truth else set()

@@ -40,7 +40,7 @@ class HistogramComparison:
 
 def histogram_difference(first: Counter, second: Counter) -> HistogramComparison:
     """Compare two α histograms the way §8.3 does."""
-    buckets = set(first) | set(second)
+    buckets = sorted(set(first) | set(second))
     if not buckets:
         return HistogramComparison(0.0, 0, 0.0, 0)
     diffs = [abs(first.get(b, 0) - second.get(b, 0)) for b in buckets]

@@ -20,19 +20,19 @@ class InsecureStore:
     def __init__(self, store: StorageBackend, items: dict[str, bytes]) -> None:
         self.store = store
         self.operations = 0
-        store.multi_put(items.items())
+        store.multi_put(items.items())  # oblint: disable=OBL101 -- deliberately insecure baseline (§8.1): it exists to price obliviousness
 
     def get(self, key: str) -> bytes:
         self.operations += 1
-        return self.store.get(key)
+        return self.store.get(key)  # oblint: disable=OBL101 -- deliberately insecure baseline (§8.1): it exists to price obliviousness
 
     def put(self, key: str, value: bytes) -> None:
         self.operations += 1
-        self.store.put(key, value)
+        self.store.put(key, value)  # oblint: disable=OBL101 -- deliberately insecure baseline (§8.1): it exists to price obliviousness
 
     def delete(self, key: str) -> None:
         self.operations += 1
-        self.store.delete(key)
+        self.store.delete(key)  # oblint: disable=OBL101 -- deliberately insecure baseline (§8.1): it exists to price obliviousness
 
     def execute(self, request: TraceRequest) -> bytes | None:
         """Run one workload trace request."""

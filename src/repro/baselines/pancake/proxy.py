@@ -22,7 +22,6 @@ not *sequences* — the correlated-query attack in
 
 from __future__ import annotations
 
-import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -31,6 +30,7 @@ from repro.baselines.pancake.smoothing import SmoothedDistribution
 from repro.obs import OBS
 from repro.crypto.keys import KeyChain
 from repro.errors import ConfigurationError, ProtocolError
+from repro.seeding import seeded_rng
 from repro.storage.base import StorageBackend
 from repro.storage.recording import RecordingStore
 from repro.workloads.trace import Operation, TraceRequest
@@ -99,7 +99,7 @@ class PancakeProxy:
         self.batch_size = batch_size
         self.delta = delta
         self.keychain = keychain if keychain is not None else KeyChain()
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self.stats = PancakeStats()
         self._keep_batch_stats = keep_batch_stats
         #: key -> (value, set of replica indices still stale)

@@ -24,6 +24,8 @@ import random
 
 import numpy as np
 
+from repro.seeding import seeded_rng
+
 from repro.errors import ConfigurationError
 
 __all__ = ["AliasSampler", "SmoothedDistribution"]
@@ -56,7 +58,7 @@ class AliasSampler:
             prob[remaining] = 1.0
         self._prob = prob
         self._alias = alias
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
 
     def sample(self) -> int:
         i = self._rng.randrange(self.n)
@@ -116,7 +118,7 @@ class SmoothedDistribution:
         fake_weights = np.clip(fake_weights, 0.0, None)
         self.fake_weights = fake_weights
         self._fake_sampler = AliasSampler(fake_weights, seed=seed)
-        self._replica_rng = random.Random(None if seed is None else seed + 1)
+        self._replica_rng = seeded_rng(seed, stream=1)
 
     def replica_count(self, key_index: int) -> int:
         return int(self.replicas[key_index])

@@ -17,13 +17,13 @@ observes only which nodes are touched (always one full path).
 from __future__ import annotations
 
 import math
-import random
 import time
 from dataclasses import dataclass
 
 from repro.crypto.keys import KeyChain
 from repro.obs import OBS
 from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.seeding import seeded_rng
 from repro.storage.base import StorageBackend
 from repro.workloads.trace import Operation, TraceRequest
 
@@ -65,7 +65,7 @@ class PathOram:
         self.leaves = 2 ** (self.levels - 1)
         self.store = store
         self.keychain = keychain if keychain is not None else KeyChain()
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self.stats = PathOramStats()
         self.position: dict[str, int] = {}
         self.stash: dict[str, bytes] = {}

@@ -28,6 +28,7 @@ import random
 from repro.baselines.pathoram import PathOram
 from repro.crypto.keys import KeyChain
 from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.seeding import seeded_rng
 from repro.storage.base import StorageBackend
 from repro.workloads.trace import Operation, TraceRequest
 
@@ -140,7 +141,7 @@ class RecursivePathOram:
         if pack_factor < 1 or client_threshold < 1:
             raise ConfigurationError("invalid recursion parameters")
         self.keychain = keychain if keychain is not None else KeyChain()
-        rng = random.Random(seed)
+        rng = seeded_rng(seed)
         self.n = len(items)
         self.z = bucket_size
         self.levels = max(1, math.ceil(math.log2(max(2, self.n)))) + 1

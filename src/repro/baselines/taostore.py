@@ -25,7 +25,6 @@ every request pays its own path fetch; nothing amortizes across clients.
 from __future__ import annotations
 
 import math
-import random
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -33,6 +32,7 @@ from dataclasses import dataclass
 from repro.crypto.keys import KeyChain
 from repro.obs import OBS
 from repro.errors import ConfigurationError, KeyNotFoundError
+from repro.seeding import seeded_rng
 from repro.storage.base import StorageBackend
 from repro.workloads.trace import Operation, TraceRequest
 
@@ -77,7 +77,7 @@ class TaoStore:
         self.leaves = 2 ** (self.levels - 1)
         self.store = store
         self.keychain = keychain if keychain is not None else KeyChain()
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self.write_back_threshold = write_back_threshold
         self.stats = TaoStoreStats()
 
@@ -257,7 +257,7 @@ class TaoStore:
             if not nodes and not self._pending_blocks:
                 return
         occupancy: dict[int, list[tuple[str, int, bytes]]] = {
-            node: [] for node in nodes
+            node: [] for node in sorted(nodes)
         }
         still_pending: dict[str, bytes] = {}
         for key, value in self._pending_blocks.items():

@@ -58,4 +58,5 @@ def format_series(rows: list[dict], x: str, y: str,
 
 
 def print_rows(rows: Iterable[dict], **kwargs) -> None:  # pragma: no cover
-    print(format_table(list(rows), **kwargs))
+    from repro.obs.export import emit_text
+    emit_text(format_table(list(rows), **kwargs))

@@ -6,10 +6,20 @@ Usage::
     python -m repro.cli run fig2ab --n 4096 --rounds 40
     python -m repro.cli run table2
     python -m repro.cli bounds --n 1048576 --level high
+    python -m repro.cli lint
 
 ``run`` executes one experiment from :mod:`repro.bench.experiments` and
 prints the paper-style table; ``bounds`` evaluates the Theorem 7.1/7.2
-bounds for a preset without running anything.
+bounds for a preset without running anything; ``lint`` runs the oblint
+static-analysis suite (DESIGN.md §9).
+
+Exit codes are part of the CLI contract (scripts and CI dispatch on
+them, and ``tests/test_cli.py`` pins them):
+
+* ``0`` — success / clean,
+* ``1`` — lint findings or a failed security audit,
+* ``2`` — the chaos differential oracle found a violation,
+* ``64`` — malformed command line (BSD ``EX_USAGE``).
 """
 
 from __future__ import annotations
@@ -17,12 +27,33 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import NoReturn
 
 from repro.bench import experiments
 from repro.bench.reporting import format_table
 from repro.core.config import SecurityLevel, WaffleConfig
 
-__all__ = ["EXPERIMENTS", "main"]
+__all__ = ["EXIT_CHAOS", "EXIT_LINT", "EXIT_USAGE", "EXPERIMENTS", "main"]
+
+#: Lint findings (or failed audit) — "the code is wrong".
+EXIT_LINT = 1
+#: Chaos oracle violation — "the system misbehaved under faults".
+EXIT_CHAOS = 2
+#: Malformed command line (BSD sysexits.h EX_USAGE).
+EXIT_USAGE = 64
+
+
+class _Parser(argparse.ArgumentParser):
+    """ArgumentParser that exits with :data:`EXIT_USAGE` on bad usage.
+
+    argparse's default exit code for usage errors is 2, which would
+    collide with :data:`EXIT_CHAOS`; subparsers inherit this class via
+    ``parser_class`` so ``repro chaos --bogus`` also exits 64.
+    """
+
+    def error(self, message: str) -> NoReturn:
+        self.print_usage(sys.stderr)
+        self.exit(EXIT_USAGE, f"{self.prog}: error: {message}\n")
 
 #: CLI name -> (callable, kwargs it accepts from the CLI).
 EXPERIMENTS = {
@@ -46,9 +77,10 @@ EXPERIMENTS = {
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro", description="Waffle reproduction experiment runner")
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True,
+                                parser_class=_Parser)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -110,6 +142,22 @@ def _build_parser() -> argparse.ArgumentParser:
                             "of sweeping")
     chaos.add_argument("--no-shrink", action="store_true",
                        help="skip minimizing failing episodes")
+
+    lint = sub.add_parser(
+        "lint", help="run the oblint static-analysis suite (DESIGN.md §9)")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--allowlist", default=None, metavar="PATH",
+                      help="explicit .oblint.json (default: auto-discover "
+                           "by walking up from the first path)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the report as JSON instead of text")
+    lint.add_argument("--report-out", default=None, metavar="PATH",
+                      help="additionally write the JSON report to PATH "
+                           "(CI uploads this as an artifact)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list every rule and exit")
     return parser
 
 
@@ -285,7 +333,7 @@ def _run_chaos(args) -> int:
                   + ("OK" if result.ok else "FAILED"))
             for violation in result.violations:
                 print(f"  {violation}")
-        return 0 if result.ok else 1
+        return 0 if result.ok else EXIT_CHAOS
 
     modes = (("replicated", "quorum") if args.ha == "both"
              else (args.ha,))
@@ -319,7 +367,27 @@ def _run_chaos(args) -> int:
     if args.save_failure:
         episode.to_json(args.save_failure)
         print(f"reproducer -> {args.save_failure}")
-    return 1
+    return EXIT_CHAOS
+
+
+def _run_lint(args) -> int:
+    from repro.lint import default_rules, run_lint
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id}  {rule.severity:7s} {rule.name}: "
+                  f"{rule.description}")
+        return 0
+    report = run_lint(args.paths, allowlist=args.allowlist)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.describe())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+            handle.write("\n")
+    return 0 if report.ok else EXIT_LINT
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -338,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_obs(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "lint":
+        return _run_lint(args)
     return _show_bounds(args)
 
 

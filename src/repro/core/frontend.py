@@ -97,7 +97,7 @@ class ConcurrentFrontend:
     def __enter__(self) -> "ConcurrentFrontend":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -133,4 +133,5 @@ class ConcurrentFrontend:
         finally:
             for waiter in waiters:
                 waiter.event.set()
-            self.batches_dispatched += 1
+            with self._lock:
+                self.batches_dispatched += 1

@@ -59,7 +59,8 @@ class BatchScheduler:
     def put(self, key: str, value: bytes) -> PendingResult:
         return self._submit("put", key, value)
 
-    def _submit(self, kind: str, key: str, value) -> PendingResult:
+    def _submit(self, kind: str, key: str,
+                value: bytes | None) -> PendingResult:
         if self._oldest_arrival is None:
             self._oldest_arrival = self._clock.now
         before = len(self._client)

@@ -24,8 +24,10 @@ treap substrate with Waffle's specific semantics:
 from __future__ import annotations
 
 import random
+from typing import Iterable
 
 from repro.ds.treap import Treap
+from repro.seeding import derive_seed, seeded_rng
 
 __all__ = ["DummyObjectIndex", "RealObjectIndex"]
 
@@ -41,7 +43,8 @@ class RealObjectIndex:
 
     __slots__ = ("_timestamps", "_tree", "_arrivals")
 
-    def __init__(self, keys, seed: int | None = None) -> None:
+    def __init__(self, keys: Iterable[str],
+                 seed: int | None = None) -> None:
         self._timestamps: dict[str, int] = {}
         self._tree = Treap(seed=seed)
         self._arrivals = 0
@@ -108,7 +111,7 @@ class RealObjectIndex:
             self._arrivals += 1
         return selected
 
-    def random_resident_key(self, rng) -> str:
+    def random_resident_key(self, rng: random.Random) -> str:
         """Uniformly random server-resident key (the Challenge-2 ablation:
         what happens when fake queries ignore recency)."""
         _, key = self._tree.select(rng.randrange(len(self._tree)))
@@ -135,13 +138,13 @@ class DummyObjectIndex:
     __slots__ = ("_stored_ts", "_tree", "_rng", "_accessed_since_reset",
                  "reshuffle")
 
-    def __init__(self, keys, seed: int | None = None,
+    def __init__(self, keys: Iterable[str], seed: int | None = None,
                  reshuffle: bool = True) -> None:
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         #: Apply the paper's epoch reset (see WaffleConfig.dummy_policy).
         self.reshuffle = reshuffle
         self._stored_ts: dict[str, int] = {}
-        self._tree = Treap(seed=None if seed is None else seed + 1)
+        self._tree = Treap(seed=derive_seed(seed, stream=1))
         for key in keys:
             self._stored_ts[key] = 0
             self._tree.insert(key, (0, self._rng.random(), key))
@@ -173,7 +176,7 @@ class DummyObjectIndex:
         """
         return [key for _, key in self._tree.pop_min_many(count)]
 
-    def record_access_many(self, keys, ts: int) -> None:
+    def record_access_many(self, keys: Iterable[str], ts: int) -> None:
         """Batched :meth:`record_access` over keys already detached by
         :meth:`take_min_keys`; tiebreak draws happen in ``keys`` order, so
         the selection sequence matches the one-at-a-time path exactly."""
@@ -212,7 +215,10 @@ class DummyObjectIndex:
     def _reshuffle(self, ts: int) -> None:
         entries = list(self._stored_ts)
         self._rng.shuffle(entries)
-        fresh = Treap()
+        # Seed the rebuilt tree from the epoch timestamp: deterministic
+        # under replay, varies per epoch, and consumes no draws from
+        # self._rng (whose stream pinned traces depend on).
+        fresh = Treap(seed=derive_seed(ts, stream=1))
         for key in entries:
             fresh.insert(key, (ts, self._rng.random(), key))
         self._tree = fresh

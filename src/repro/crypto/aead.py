@@ -38,7 +38,7 @@ import hashlib
 import hmac
 import os
 import time
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Protocol, Sequence
 
 from repro.errors import IntegrityError
 from repro.obs import OBS
@@ -48,7 +48,13 @@ try:  # vectorized XOR when available; the big-int path needs nothing
 except ImportError:  # pragma: no cover - numpy is a declared dependency
     _np = None
 
-__all__ = ["AuthenticatedCipher"]
+__all__ = ["AuthenticatedCipher", "RandomSource"]
+
+
+class RandomSource(Protocol):
+    """Nonce entropy source: anything with ``random.Random``'s ``randbytes``."""
+
+    def randbytes(self, n: int) -> bytes: ...
 
 _NONCE_LEN = 16
 _TAG_LEN = 32
@@ -97,7 +103,8 @@ class AuthenticatedCipher:
 
     __slots__ = ("_enc_key", "_mac_key", "_randbytes", "_stream_root", "_mac_keyed")
 
-    def __init__(self, enc_key: bytes, mac_key: bytes, rng=None) -> None:
+    def __init__(self, enc_key: bytes, mac_key: bytes,
+                 rng: RandomSource | None = None) -> None:
         if not enc_key or not mac_key:
             raise ValueError("cipher keys must be non-empty")
         if enc_key == mac_key:
@@ -110,12 +117,13 @@ class AuthenticatedCipher:
         # Keyed-but-empty HMAC state; copied per message (skips re-keying).
         self._mac_keyed = hmac.new(self._mac_key, None, hashlib.sha256)
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[bytes, bytes, Callable[[int], bytes]]:
         # The cached digest states are C objects and cannot pickle; the
         # keys fully determine them (checkpoint shipping, ha/).
         return self._enc_key, self._mac_key, self._randbytes
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: tuple[bytes, bytes,
+                                        Callable[[int], bytes]]) -> None:
         self._enc_key, self._mac_key, self._randbytes = state
         self._stream_root = hashlib.sha256(self._enc_key)
         self._mac_keyed = hmac.new(self._mac_key, None, hashlib.sha256)

@@ -13,7 +13,7 @@ import hmac
 import hashlib
 import os
 
-from repro.crypto.aead import AuthenticatedCipher
+from repro.crypto.aead import AuthenticatedCipher, RandomSource
 from repro.crypto.prf import Prf
 
 __all__ = ["KeyChain"]
@@ -36,7 +36,8 @@ class KeyChain:
 
     __slots__ = ("_master", "prf", "cipher")
 
-    def __init__(self, master: bytes | None = None, rng=None) -> None:
+    def __init__(self, master: bytes | None = None,
+                 rng: RandomSource | None = None) -> None:
         self._master = bytes(master) if master is not None else os.urandom(32)
         if not self._master:
             raise ValueError("master key must be non-empty")
@@ -48,6 +49,7 @@ class KeyChain:
         )
 
     @classmethod
-    def from_seed(cls, seed: int, rng=None) -> "KeyChain":
+    def from_seed(cls, seed: int,
+                  rng: RandomSource | None = None) -> "KeyChain":
         """Deterministic keychain for reproducible experiments."""
         return cls(seed.to_bytes(16, "big", signed=True), rng=rng)

@@ -90,12 +90,12 @@ class Prf:
             append(mac.hexdigest()[:cut])
         return out
 
-    def __getstate__(self):
+    def __getstate__(self) -> bytes:
         # The cached HMAC state is a C object and cannot pickle; the
         # secret fully determines it (checkpoint shipping, ha/).
         return self._secret
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: bytes) -> None:
         self.__init__(state)
 
     def derive_bytes(self, data: bytes) -> bytes:

@@ -17,16 +17,19 @@ the implementation must respect:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator
+from typing import Any, Generic, Iterator, TypeVar
 
 __all__ = ["LruCache"]
+
+K = TypeVar("K")
+V = TypeVar("V")
 
 #: Internal miss marker distinguishable from any cached value (including
 #: ``None``/``b""``); callers may pass their own ``default`` instead.
 _MISSING = object()
 
 
-class LruCache:
+class LruCache(Generic[K, V]):
     """An LRU map with explicit eviction.
 
     Parameters
@@ -42,21 +45,21 @@ class LruCache:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
         self.capacity = capacity
-        self._entries: OrderedDict = OrderedDict()
+        self._entries: OrderedDict[K, V] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: object) -> bool:
         return key in self._entries
 
-    def get(self, key):
+    def get(self, key: K) -> V:
         """Return the cached value and mark ``key`` most recently used."""
         value = self._entries[key]
         self._entries.move_to_end(key)
         return value
 
-    def get_if_present(self, key, default=None):
+    def get_if_present(self, key: K, default: Any = None) -> Any:
         """Single-lookup :meth:`get`: value (recency bumped) or ``default``.
 
         Replaces the ``key in cache`` + ``cache.get(key)`` double descent
@@ -70,18 +73,18 @@ class LruCache:
         self._entries.move_to_end(key)
         return value
 
-    def touch_if_present(self, key) -> bool:
+    def touch_if_present(self, key: K) -> bool:
         """Mark ``key`` most recently used if cached; report whether it was."""
         if key in self._entries:
             self._entries.move_to_end(key)
             return True
         return False
 
-    def peek(self, key):
+    def peek(self, key: K) -> V:
         """Return the cached value without touching recency."""
         return self._entries[key]
 
-    def put(self, key, value) -> None:
+    def put(self, key: K, value: V) -> None:
         """Insert or update ``key`` and mark it most recently used.
 
         Never evicts; the owner drains overflow via :meth:`evict`.
@@ -89,17 +92,17 @@ class LruCache:
         self._entries[key] = value
         self._entries.move_to_end(key)
 
-    def touch(self, key) -> None:
+    def touch(self, key: K) -> None:
         """Mark ``key`` most recently used without changing its value."""
         self._entries.move_to_end(key)
 
-    def evict(self):
+    def evict(self) -> tuple[K, V]:
         """Remove and return the least recently used ``(key, value)`` pair."""
         if not self._entries:
             raise KeyError("cache is empty")
         return self._entries.popitem(last=False)
 
-    def remove(self, key):
+    def remove(self, key: K) -> V:
         """Remove ``key`` outright and return its value."""
         return self._entries.pop(key)
 
@@ -107,10 +110,10 @@ class LruCache:
         """Number of entries beyond the configured capacity."""
         return max(0, len(self._entries) - self.capacity)
 
-    def keys(self) -> Iterator:
+    def keys(self) -> Iterator[K]:
         """Keys from least to most recently used."""
         return iter(self._entries)
 
-    def items(self) -> Iterator[tuple]:
+    def items(self) -> Iterator[tuple[K, V]]:
         """Items from least to most recently used."""
         return iter(self._entries.items())

@@ -18,11 +18,11 @@ deep trees cannot hit Python's recursion limit.
 
 from __future__ import annotations
 
-import random
 import time
-from typing import Iterator
+from typing import Any, Hashable, Iterator
 
 from repro.obs import OBS
+from repro.seeding import seeded_rng
 
 __all__ = ["Treap"]
 
@@ -30,7 +30,7 @@ __all__ = ["Treap"]
 class _Node:
     __slots__ = ("sort_key", "entry", "priority", "left", "right", "size")
 
-    def __init__(self, sort_key, entry, priority: float) -> None:
+    def __init__(self, sort_key: Any, entry: Any, priority: float) -> None:
         self.sort_key = sort_key
         self.entry = entry
         self.priority = priority
@@ -64,8 +64,9 @@ class Treap:
 
     def __init__(self, seed: int | None = None) -> None:
         self._root: _Node | None = None
-        self._position: dict = {}  # entry -> sort_key currently in the tree
-        self._rng = random.Random(seed)
+        # entry -> sort_key currently in the tree
+        self._position: dict[Hashable, Any] = {}
+        self._rng = seeded_rng(seed)
 
     # ------------------------------------------------------------------
     # rotations / structural helpers
@@ -110,7 +111,8 @@ class Treap:
         root = pseudo.left
         return root
 
-    def _split(self, node: _Node | None, sort_key) -> tuple[_Node | None, _Node | None]:
+    def _split(self, node: _Node | None, sort_key: Any,
+               ) -> tuple[_Node | None, _Node | None]:
         """Split into (< sort_key, >= sort_key), iteratively."""
         less_pseudo = _Node(None, None, 0.0)
         geq_pseudo = _Node(None, None, 0.0)
@@ -138,14 +140,14 @@ class Treap:
     def __len__(self) -> int:
         return len(self._position)
 
-    def __contains__(self, entry) -> bool:
+    def __contains__(self, entry: Hashable) -> bool:
         return entry in self._position
 
-    def sort_key_of(self, entry):
+    def sort_key_of(self, entry: Hashable) -> Any:
         """Current sort key of ``entry`` (KeyError if absent)."""
         return self._position[entry]
 
-    def insert(self, entry, sort_key) -> None:
+    def insert(self, entry: Hashable, sort_key: Any) -> None:
         """Insert ``entry`` at ``sort_key``; repositions existing entries."""
         if entry in self._position:
             self.remove(entry)
@@ -154,7 +156,7 @@ class Treap:
         self._root = self._merge(self._merge(less, node), geq)
         self._position[entry] = sort_key
 
-    def remove(self, entry) -> None:
+    def remove(self, entry: Hashable) -> None:
         """Remove ``entry`` from the tree (KeyError if absent)."""
         sort_key = self._position.pop(entry)
         parent: _Node | None = None
@@ -180,7 +182,7 @@ class Treap:
         # Fix sizes on the root-to-parent path.
         self._refresh_path(sort_key)
 
-    def _refresh_path(self, sort_key) -> None:
+    def _refresh_path(self, sort_key: Any) -> None:
         path = []
         node = self._root
         while node is not None:
@@ -194,7 +196,7 @@ class Treap:
         for n in reversed(path):
             n.refresh()
 
-    def min(self):
+    def min(self) -> tuple[Any, Any]:
         """Return ``(sort_key, entry)`` with the smallest sort key."""
         node = self._root
         if node is None:
@@ -203,13 +205,13 @@ class Treap:
             node = node.left
         return node.sort_key, node.entry
 
-    def pop_min(self):
+    def pop_min(self) -> tuple[Any, Any]:
         """Remove and return ``(sort_key, entry)`` with the smallest sort key."""
         sort_key, entry = self.min()
         self.remove(entry)
         return sort_key, entry
 
-    def pop_min_many(self, count: int) -> list[tuple]:
+    def pop_min_many(self, count: int) -> list[tuple[Any, Any]]:
         """Remove and return the ``count`` smallest ``(sort_key, entry)`` pairs.
 
         One ``select`` + one ``split`` detaches the whole prefix in
@@ -226,7 +228,7 @@ class Treap:
             return out
         return self._pop_min_many(count)
 
-    def _pop_min_many(self, count: int) -> list[tuple]:
+    def _pop_min_many(self, count: int) -> list[tuple[Any, Any]]:
         if count <= 0:
             return []
         if count >= len(self._position):
@@ -236,7 +238,7 @@ class Treap:
             # (count+1)-th smallest key is exactly the count-element prefix.
             boundary, _ = self.select(count)
             detached, self._root = self._split(self._root, boundary)
-        removed: list[tuple] = []
+        removed: list[tuple[Any, Any]] = []
         stack: list[_Node] = []
         node = detached
         while stack or node is not None:
@@ -250,7 +252,7 @@ class Treap:
             del self._position[entry]
         return removed
 
-    def select(self, rank: int):
+    def select(self, rank: int) -> tuple[Any, Any]:
         """Return ``(sort_key, entry)`` of the ``rank``-th smallest element.
 
         O(log n) via subtree sizes; used by the uniform-random fake-query
@@ -270,7 +272,7 @@ class Treap:
                 node = node.right
         raise IndexError(rank)  # pragma: no cover - sizes guarantee a hit
 
-    def items(self) -> Iterator[tuple]:
+    def items(self) -> Iterator[tuple[Any, Any]]:
         """Yield ``(sort_key, entry)`` in ascending sort-key order."""
         stack: list[_Node] = []
         node = self._root

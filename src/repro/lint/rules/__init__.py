@@ -1,0 +1,49 @@
+"""Rule registry: every oblint rule plugin, in id order."""
+
+from __future__ import annotations
+
+from repro.lint.engine import Rule
+from repro.lint.rules.concurrency import UnlockedSharedWriteRule
+from repro.lint.rules.determinism import (
+    SetIterationOrderRule,
+    UnseededRngRule,
+    UrandomOutsideCryptoRule,
+    WallClockRule,
+    WildRandomCallRule,
+)
+from repro.lint.rules.layering import (
+    PrintOutsideCliRule,
+    RawBackendRule,
+    SocketOutsideNetRule,
+    UnbatchedDeleteRule,
+)
+from repro.lint.rules.secretflow import (
+    SecretToServerRule,
+    SecretToTraceRule,
+    TaintedBranchRule,
+)
+from repro.lint.rules.typing_strict import TypingCompletenessRule
+
+__all__ = ["ALL_RULES", "default_rules"]
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    SecretToServerRule,
+    SecretToTraceRule,
+    TaintedBranchRule,
+    WallClockRule,
+    UnseededRngRule,
+    WildRandomCallRule,
+    UrandomOutsideCryptoRule,
+    SetIterationOrderRule,
+    RawBackendRule,
+    SocketOutsideNetRule,
+    PrintOutsideCliRule,
+    UnbatchedDeleteRule,
+    UnlockedSharedWriteRule,
+    TypingCompletenessRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule."""
+    return [rule() for rule in ALL_RULES]

@@ -1,0 +1,158 @@
+"""Concurrency rule: shared state mutates only under its owning lock.
+
+Classes that create a ``threading.Lock``/``RLock``/``Condition`` in
+``__init__`` have declared which attributes are shared across threads.
+Any other method that writes ``self.<attr>`` (assignment, augmented
+assignment, subscript store, or a mutating method call such as
+``.append``) outside a ``with self.<lock>:`` block is a data race — the
+batch frontend and the network server both dispatch from worker threads.
+``__init__`` itself runs before the object escapes to other threads and
+is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, Module, Rule
+from repro.lint.rules._util import dotted_name
+
+__all__ = ["UnlockedSharedWriteRule"]
+
+_LOCK_FACTORIES = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "Lock", "RLock", "Condition",
+}
+
+#: Method names that mutate their receiver in place.  ``set`` is
+#: deliberately absent: ``Event.set()`` is itself thread-safe.
+_MUTATORS = {
+    "append", "extend", "add", "insert", "remove", "discard", "pop",
+    "popitem", "popleft", "appendleft", "clear", "update", "setdefault",
+}
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__del__"}
+
+
+class UnlockedSharedWriteRule(Rule):
+    id = "OBL401"
+    name = "unlocked-shared-write"
+    description = ("attribute of a lock-owning class mutated outside "
+                   "'with self.<lock>:'; worker threads race on it")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = self._lock_attrs(cls)
+            if not locks:
+                continue
+            for method in cls.body:
+                if not isinstance(method,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _EXEMPT_METHODS:
+                    continue
+                yield from self._check_method(module, method, locks)
+
+    @staticmethod
+    def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+        """Names of self attributes bound to a lock in ``__init__``."""
+        locks: set[str] = set()
+        for method in cls.body:
+            if not (isinstance(method, ast.FunctionDef)
+                    and method.name == "__init__"):
+                continue
+            for node in ast.walk(method):
+                if not (isinstance(node, ast.Assign)
+                        and isinstance(node.value, ast.Call)):
+                    continue
+                factory = dotted_name(node.value.func)
+                is_lock = factory in _LOCK_FACTORIES
+                # threading.Condition(self._lock) shares the lock: the
+                # condition attribute is a lock handle too.
+                if not is_lock:
+                    continue
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        locks.add(target.attr)
+        return locks
+
+    def _check_method(self, module: Module, method: ast.AST,
+                      locks: set[str]) -> Iterator[Finding]:
+        yield from self._walk(module, list(method.body), locks,  # type: ignore[attr-defined]
+                              held=False)
+
+    def _walk(self, module: Module, body: list[ast.stmt],
+              locks: set[str], held: bool) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner_held = held or any(
+                    self._is_lock_expr(item.context_expr, locks)
+                    for item in stmt.items)
+                yield from self._walk(module, stmt.body, locks, inner_held)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs run later, in unknown lock context
+            if not held:
+                yield from self._flag_writes(module, stmt, locks)
+            for field_name in ("body", "orelse", "finalbody"):
+                block = getattr(stmt, field_name, None)
+                if isinstance(block, list):
+                    yield from self._walk(module, block, locks, held)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    yield from self._walk(module, handler.body, locks, held)
+
+    @staticmethod
+    def _is_lock_expr(expr: ast.AST, locks: set[str]) -> bool:
+        return (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in locks)
+
+    def _flag_writes(self, module: Module, stmt: ast.stmt,
+                     locks: set[str]) -> Iterator[Finding]:
+        # Only the statement's own (non-compound) expression is examined
+        # here; compound bodies are recursed into by _walk.
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            for target in targets:
+                attr = self._self_attr_target(target)
+                if attr and attr not in locks:
+                    yield module.finding(
+                        self, stmt,
+                        f"write to self.{attr} outside the owning lock; "
+                        "wrap in 'with self.<lock>:'")
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and isinstance(func.value, ast.Attribute)
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == "self"):
+                yield module.finding(
+                    self, stmt,
+                    f"self.{func.value.attr}.{func.attr}() outside the "
+                    "owning lock; wrap in 'with self.<lock>:'")
+
+    @staticmethod
+    def _self_attr_target(target: ast.AST) -> str | None:
+        """self.x = / self.x[k] = — return the attribute name."""
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return target.attr
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                found = UnlockedSharedWriteRule._self_attr_target(element)
+                if found:
+                    return found
+        return None

@@ -62,7 +62,9 @@ class StorageServer:
             self._listener.close()
         except OSError:  # pragma: no cover - platform dependent
             pass
-        for thread in self._threads:
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=2)
 
     def __enter__(self) -> "StorageServer":
@@ -82,7 +84,8 @@ class StorageServer:
                 return
             thread = threading.Thread(target=self._serve_connection,
                                       args=(conn,), daemon=True)
-            self._threads.append(thread)
+            with self._lock:
+                self._threads.append(thread)
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:

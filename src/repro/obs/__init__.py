@@ -35,7 +35,7 @@ Usage::
 
     obs.enable()                      # or enable(trace_path="run.jsonl")
     ...  # run any instrumented system
-    print(obs.OBS.registry.snapshot())
+    emit_text(str(obs.OBS.registry.snapshot()))   # repro.obs.export
     obs.disable()
 
     with obs.capture() as handle:     # scoped form used by tests

@@ -16,7 +16,29 @@ import math
 
 from repro.obs.registry import Histogram, MetricsRegistry
 
-__all__ = ["render_prometheus", "write_prometheus", "write_trace_jsonl"]
+__all__ = ["emit_text", "render_prometheus", "write_prometheus",
+           "write_trace_jsonl"]
+
+
+def emit_text(text: str, stream=None) -> None:
+    """The blessed path for human-readable report output.
+
+    Library code must not call ``print()`` (oblint OBL303): stray stdout
+    corrupts machine-readable CLI output and leaves no trace.  This
+    helper writes to ``stream`` (default ``sys.stdout``) and, when
+    observability is enabled, records the emission as a trace event so
+    exported traces show *that* a report was produced without embedding
+    its contents.
+    """
+    import sys
+
+    from repro.obs import OBS
+
+    out = stream if stream is not None else sys.stdout
+    out.write(text if text.endswith("\n") else text + "\n")
+    if OBS.enabled:
+        OBS.event("report.emit", lines=text.count("\n") + 1,
+                  chars=len(text))
 
 
 def _sanitize(name: str) -> str:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left
+from typing import Any, Callable, Iterator
 
 __all__ = [
     "Counter",
@@ -62,7 +63,7 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += n
 
-    def snapshot(self):
+    def snapshot(self) -> int | float:
         return self.value
 
 
@@ -81,7 +82,7 @@ class Gauge:
     def add(self, delta: float) -> None:
         self.value += delta
 
-    def snapshot(self):
+    def snapshot(self) -> float:
         return self.value
 
 
@@ -218,7 +219,8 @@ class MetricsRegistry:
         #: (name, label tuple) -> metric object
         self._metrics: dict[tuple[str, tuple], object] = {}
 
-    def _get(self, name: str, factory, labels: dict):
+    def _get(self, name: str, factory: Callable[[], Any],
+             labels: dict[str, object]) -> Any:
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -250,7 +252,7 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[str, tuple[Any, ...], Any]]:
         """Yield ``(name, label tuple, metric)`` sorted by name."""
         for (name, labels), metric in sorted(self._metrics.items()):
             yield name, labels, metric

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.obs import OBS
+from repro.seeding import seeded_rng
 from repro.sim.metrics import LatencyRecorder
 
 __all__ = ["ClosedLoopResult", "simulate_closed_loop"]
@@ -77,8 +78,7 @@ def simulate_closed_loop(round_time_s: float, batch_capacity: int,
         raise ConfigurationError("invalid closed-loop parameters")
     timeout = round_timeout_s if round_timeout_s is not None \
         else 2 * round_time_s
-    import random as _random
-    rng = _random.Random(seed)
+    rng = seeded_rng(seed)
 
     def draw_think() -> float:
         if think_time_s <= 0:

@@ -21,7 +21,7 @@ runs the store in ``write_once`` mode.)
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.errors import DuplicateKeyError, KeyNotFoundError, ProtocolError
 from repro.obs import OBS
@@ -50,7 +50,7 @@ class RedisSim(StorageBackend):
     # ------------------------------------------------------------------
     # command interface
     # ------------------------------------------------------------------
-    def execute(self, command: tuple):
+    def execute(self, command: tuple[Any, ...]) -> Any:
         """Execute one command tuple and return its reply.
 
         Supported commands: ``GET key``, ``SET key value``, ``DEL key``,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 
+from repro.seeding import seeded_rng
 from repro.workloads.trace import Operation, TraceRequest
 from repro.workloads.ycsb import key_name
 
@@ -54,7 +55,7 @@ class ClickstreamModel:
         if out_degree < 1:
             raise ValueError("out_degree must be positive")
         self.n = n
-        rng = random.Random(seed)
+        rng = seeded_rng(seed)
         self.neighbours: list[list[int]] = []
         self.weights: list[list[float]] = []
         for node in range(n):
@@ -72,7 +73,7 @@ class ClickstreamModel:
 
     def walk(self, length: int, seed: int | None = None) -> list[int]:
         """Generate a key-index sequence by walking the chain."""
-        rng = random.Random(seed)
+        rng = seeded_rng(seed)
         current = rng.randrange(self.n)
         path = []
         for _ in range(length):
@@ -109,7 +110,7 @@ class CorrelatedWorkload:
 
     def __init__(self, model: ClickstreamModel, seed: int | None = None) -> None:
         self.model = model
-        master = random.Random(seed)
+        master = seeded_rng(seed)
         self._walk_seed = master.randrange(2**63)
         self._shuffle_rng = random.Random(master.randrange(2**63))
 

@@ -17,6 +17,7 @@ import random
 from typing import Iterator
 
 from repro.errors import ConfigurationError
+from repro.seeding import seeded_rng
 from repro.workloads.trace import Operation, TraceRequest
 from repro.workloads.zipf import UniformSampler, ZipfSampler
 
@@ -68,7 +69,7 @@ class YcsbWorkload:
         self.n = n
         self.read_proportion = read_proportion
         self.value_size = value_size
-        master = random.Random(seed)
+        master = seeded_rng(seed)
         sampler_seed = master.randrange(2**63)
         self._op_rng = random.Random(master.randrange(2**63))
         self._value_rng = random.Random(master.randrange(2**63))
@@ -154,7 +155,7 @@ class LatestWorkload:
         self.read_proportion = read_proportion
         self.value_size = value_size
         self._theta = theta
-        master = random.Random(seed)
+        master = seeded_rng(seed)
         self._op_rng = random.Random(master.randrange(2**63))
         self._age_rng = random.Random(master.randrange(2**63))
         self._value_rng = random.Random(master.randrange(2**63))

@@ -18,6 +18,8 @@ import random
 
 import numpy as np
 
+from repro.seeding import seeded_rng
+
 __all__ = ["UniformSampler", "ZipfSampler"]
 
 _FNV_OFFSET = 0xCBF29CE484222325
@@ -66,7 +68,7 @@ class ZipfSampler:
         cdf = np.cumsum(weights)
         cdf /= cdf[-1]
         self._cdf = cdf
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self._scrambled = scrambled
         if scrambled:
             # Rank r maps to a stable pseudo-random index.  A true
@@ -133,7 +135,7 @@ class HotspotSampler:
         self.n = n
         self.hot_keys = max(1, int(n * hot_fraction))
         self.hot_opn_fraction = hot_opn_fraction
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
 
     def sample(self) -> int:
         if self._rng.random() < self.hot_opn_fraction:
@@ -160,7 +162,7 @@ class UniformSampler:
         if n <= 0:
             raise ValueError("key-space size must be positive")
         self.n = n
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
 
     def sample(self) -> int:
         return self._rng.randrange(self.n)

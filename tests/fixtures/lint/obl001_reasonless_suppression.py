@@ -1,0 +1,8 @@
+"""Known-bad fixture: a suppression comment that gives no reason.
+
+Every ``oblint: disable`` must say *why* the violation is safe; a bare
+suppression is itself a finding (OBL001) so reviewers never meet an
+unexplained escape hatch.
+"""
+
+BATCH_SIZE = 512  # oblint: disable=OBL201

@@ -1,0 +1,7 @@
+"""Known-bad fixture: a suppression naming a rule id that does not exist.
+
+Typos in suppressions would otherwise silently suppress nothing while
+looking intentional (OBL002).
+"""
+
+BATCH_SIZE = 512  # oblint: disable=OBL999 -- misspelled rule id

@@ -1,0 +1,16 @@
+# oblint-fixture-path: repro/core/planted.py
+"""Known-bad fixture: a plaintext key flows into a server-visible id.
+
+This is the planted Theorem 5.1 violation: the storage id handed to the
+server is derived from the plaintext key without passing through
+``crypto.prf``, so the adversary-visible access sequence depends on the
+query distribution (OBL101).
+"""
+
+from typing import Any
+
+
+def leak_read(store: Any, key: str) -> bytes:
+    storage_id = "blk:" + key
+    value: bytes = store.get(storage_id)
+    return value

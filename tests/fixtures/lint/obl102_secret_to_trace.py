@@ -1,0 +1,13 @@
+# oblint-fixture-path: repro/core/planted.py
+"""Known-bad fixture: a plaintext key is emitted into the trace stream.
+
+Traces are exportable (JSONL, Prometheus) and must stay key-neutral;
+logging the plaintext key re-creates the leak the datastore exists to
+prevent (OBL102).
+"""
+
+from typing import Any
+
+
+def leak_trace(obs: Any, key: str) -> None:
+    obs.event("round.read", key=key)

@@ -1,0 +1,15 @@
+# oblint-fixture-path: repro/core/planted.py
+"""Known-bad fixture: server I/O guarded by a key-dependent branch.
+
+Whether the server round-trip happens at all reveals the predicate —
+the classic data-dependent-branch failure class (OBL103).
+"""
+
+from typing import Any
+
+
+def branchy_read(store: Any, key: str, hot_key: str) -> bytes | None:
+    if key == hot_key:
+        result: bytes = store.get("fixed-id")
+        return result
+    return None

@@ -1,0 +1,12 @@
+"""Known-bad fixture: a wall-clock read (OBL201).
+
+Wall-clock time makes chaos episodes non-replayable; protocol code must
+use the sim clock (``time.perf_counter`` is allowed for local duration
+measurement only).
+"""
+
+import time
+
+
+def round_deadline(budget_s: float) -> float:
+    return time.time() + budget_s

@@ -1,0 +1,11 @@
+"""Known-bad fixture: an unseeded ``random.Random()`` (OBL202).
+
+Drawing from OS entropy breaks deterministic replay; RNGs must be
+seeded explicitly (see ``repro.seeding.seeded_rng``).
+"""
+
+import random
+
+
+def make_rng() -> random.Random:
+    return random.Random()

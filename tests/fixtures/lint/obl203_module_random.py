@@ -1,0 +1,11 @@
+"""Known-bad fixture: a call through the module-level RNG (OBL203).
+
+``random.random()`` shares one global generator across every component,
+so draws interleave unpredictably between threads and test orderings.
+"""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

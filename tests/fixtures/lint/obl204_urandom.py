@@ -1,0 +1,11 @@
+"""Known-bad fixture: ``os.urandom`` outside ``repro/crypto/`` (OBL204).
+
+OS entropy outside the crypto package cannot be replayed by the chaos
+harness; non-crypto code takes bytes from a seeded RNG instead.
+"""
+
+import os
+
+
+def fresh_token() -> bytes:
+    return os.urandom(16)

@@ -1,0 +1,14 @@
+"""Known-bad fixture: hash-order-dependent iteration over a set (OBL205).
+
+Python string hashing is salted per process, so iterating a set of ids
+yields a different order every run — any derived sequence (batch
+layout, trace, report) silently loses determinism.
+"""
+
+
+def collect_ids() -> list[str]:
+    pending = {"id-a", "id-b", "id-c"}
+    out: list[str] = []
+    for storage_id in pending:
+        out.append(storage_id)
+    return out

@@ -1,0 +1,14 @@
+# oblint-fixture-path: repro/core/planted.py
+"""Known-bad fixture: core code constructing a concrete backend (OBL301).
+
+Protocol code must speak to storage through the injected
+``RecordingStore``/``StorageBackend`` seam — constructing ``RedisSim``
+directly bypasses the adversary-view recording that the security
+arguments audit.
+"""
+
+from repro.storage.redis_sim import RedisSim
+
+
+def rogue_backend() -> RedisSim:
+    return RedisSim()

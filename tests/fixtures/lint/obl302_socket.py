@@ -1,0 +1,11 @@
+"""Known-bad fixture: raw socket use outside ``repro/net/`` (OBL302).
+
+All wire I/O goes through the net package so the chaos harness can
+interpose on every connection.
+"""
+
+import socket
+
+
+def dial(host: str, port: int) -> socket.socket:
+    return socket.create_connection((host, port))

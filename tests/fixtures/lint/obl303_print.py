@@ -1,0 +1,10 @@
+"""Known-bad fixture: ``print()`` outside the CLI/dashboard (OBL303).
+
+Library code reports through the observability export path
+(``repro.obs.export``) so output is capturable and metered.
+"""
+
+
+def report(lines: list[str]) -> None:
+    for line in lines:
+        print(line)

@@ -1,0 +1,13 @@
+# oblint-fixture-path: repro/core/planted.py
+"""Known-bad fixture: a store delete outside ``commit_round`` (OBL304).
+
+Deletes that bypass the batched commit are visible to the adversary as
+a lone, timing-distinguishable write — round mutations must go through
+the ``commit_round(deletes, puts)`` contract.
+"""
+
+from typing import Any
+
+
+def purge(store: Any, storage_id: str) -> None:
+    store.delete(storage_id)

@@ -1,0 +1,21 @@
+"""Known-bad fixture: lock-owning class mutating state lock-free (OBL401).
+
+The class creates ``self._lock`` in ``__init__``, so every mutation of
+its shared attributes outside a ``with self._lock:`` block is a planted
+race — the lock-bypass write the concurrency pass must catch.
+"""
+
+import threading
+
+
+class SharedCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self) -> None:
+        self.count += 1
+
+    def bump_safely(self) -> None:
+        with self._lock:
+            self.count += 1

@@ -1,0 +1,11 @@
+# oblint-fixture-path: repro/crypto/planted.py
+"""Known-bad fixture: unannotated function in a mypy-strict-gated package.
+
+``repro/crypto/`` is inside the strict typing gate; a def with bare
+parameters and no return type would fail ``mypy --strict``, and OBL501
+mirrors that contract where mypy is not installed (OBL501).
+"""
+
+
+def stretch(material, rounds):
+    return material * rounds

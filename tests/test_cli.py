@@ -1,10 +1,11 @@
 """Tests for the CLI experiment runner."""
 
 import json
+import types
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import EXIT_CHAOS, EXIT_LINT, EXIT_USAGE, EXPERIMENTS, main
 
 
 class TestCli:
@@ -45,12 +46,102 @@ class TestCli:
         assert "least_recent" in payload and "uniform" in payload
 
     def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run", "figZZ"])
+        assert excinfo.value.code == EXIT_USAGE
 
     def test_missing_command_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main([])
+        assert excinfo.value.code == EXIT_USAGE
+
+
+class TestExitCodes:
+    """The CLI's exit codes are a contract (scripts and CI dispatch on
+    them): 0 success, 1 lint findings, 2 chaos violation, 64 bad usage.
+    """
+
+    def test_constants_are_distinct_and_pinned(self):
+        assert (EXIT_LINT, EXIT_CHAOS, EXIT_USAGE) == (1, 2, 64)
+
+    def test_usage_error_in_subparser_exits_64(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--bogus-flag"])
+        assert excinfo.value.code == EXIT_USAGE
+
+    def test_lint_clean_file_exits_0(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_finding_exits_1(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\n\n\ndef f() -> float:\n"
+                         "    return time.time()\n")
+        assert main(["lint", str(dirty)]) == EXIT_LINT
+        assert "OBL201" in capsys.readouterr().out
+
+    def test_lint_report_out_writes_json_artifact(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\n\n\ndef f() -> float:\n"
+                         "    return time.time()\n")
+        artifact = tmp_path / "report.json"
+        assert main(["lint", str(dirty), "--report-out",
+                     str(artifact)]) == EXIT_LINT
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["errors"] == 1
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("OBL101", "OBL201", "OBL301", "OBL401", "OBL501"):
+            assert rule_id in out
+
+    def test_chaos_replay_violation_exits_2(self, tmp_path, monkeypatch,
+                                            capsys):
+        import repro.testing as testing
+
+        class FakeEpisode:
+            seed = 7
+            ha_mode = "replicated"
+
+            @staticmethod
+            def from_json(path):
+                return FakeEpisode()
+
+        fake_result = types.SimpleNamespace(
+            ok=False, rounds_committed=3, failovers=1, aborted_attempts=0,
+            violations=[])
+        monkeypatch.setattr(testing, "Episode", FakeEpisode)
+        monkeypatch.setattr(testing, "run_episode", lambda e: fake_result)
+        reproducer = tmp_path / "episode.json"
+        reproducer.write_text("{}")
+        assert main(["chaos", "--replay", str(reproducer)]) == EXIT_CHAOS
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_chaos_replay_clean_exits_0(self, tmp_path, monkeypatch,
+                                        capsys):
+        import repro.testing as testing
+
+        class FakeEpisode:
+            seed = 7
+            ha_mode = "quorum"
+
+            @staticmethod
+            def from_json(path):
+                return FakeEpisode()
+
+        fake_result = types.SimpleNamespace(
+            ok=True, rounds_committed=3, failovers=0, aborted_attempts=0,
+            violations=[])
+        monkeypatch.setattr(testing, "Episode", FakeEpisode)
+        monkeypatch.setattr(testing, "run_episode", lambda e: fake_result)
+        reproducer = tmp_path / "episode.json"
+        reproducer.write_text("{}")
+        assert main(["chaos", "--replay", str(reproducer)]) == 0
+        assert "OK" in capsys.readouterr().out
 
 
 class TestCliChart:

@@ -1,0 +1,187 @@
+"""Tests for the oblint static-analysis suite (DESIGN.md §9).
+
+Two directions of coverage:
+
+* every rule fires on its planted known-bad fixture — and *only* that
+  rule, so the rules do not step on each other;
+* the shipped source tree lints clean against the committed allowlist,
+  which is what keeps the invariants enforced going forward.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    AllowlistEntry,
+    default_rules,
+    find_allowlist,
+    load_allowlist,
+    run_lint,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+FIXTURE_FILES = sorted(FIXTURES.glob("obl*.py"))
+
+
+def expected_rule(fixture: Path) -> str:
+    return "OBL" + fixture.stem[3:6]
+
+
+class TestFixturesFireExactlyTheirRule:
+    """Each planted known-bad snippet triggers its rule and nothing else."""
+
+    def test_every_rule_has_a_fixture(self):
+        covered = {expected_rule(f) for f in FIXTURE_FILES}
+        # OBL003 (unused allowlist entry) is a report-level warning that
+        # cannot be planted in a source file; it is covered below.
+        plantable = {rule.id for rule in ALL_RULES} | {"OBL001", "OBL002"}
+        assert covered == plantable - {"OBL003"}
+
+    @pytest.mark.parametrize("fixture", FIXTURE_FILES,
+                             ids=[f.stem for f in FIXTURE_FILES])
+    def test_fixture_fires_exactly_its_rule(self, fixture):
+        report = run_lint([fixture], allowlist=())
+        fired = {finding.rule for finding in report.findings}
+        assert fired == {expected_rule(fixture)}, report.describe()
+
+    def test_secret_flow_fixture_names_the_planted_line(self):
+        fixture = FIXTURES / "obl101_secret_to_server.py"
+        report = run_lint([fixture], allowlist=())
+        (finding,) = report.findings
+        planted = fixture.read_text().splitlines()[finding.line - 1]
+        assert "store.get" in planted
+
+    def test_lock_bypass_fixture_flags_only_the_unlocked_write(self):
+        fixture = FIXTURES / "obl401_unlocked_write.py"
+        report = run_lint([fixture], allowlist=())
+        (finding,) = report.findings
+        planted = fixture.read_text().splitlines()
+        assert planted[finding.line - 1].strip() == "self.count += 1"
+        # the locked twin of the same statement is *not* flagged
+        assert planted.index("            self.count += 1") != finding.line - 1
+
+
+class TestSourceTreeLintsClean:
+    """The enforcement direction: src/repro is clean under the shipped
+    allowlist, so any new violation fails CI."""
+
+    def test_src_repro_clean_with_committed_allowlist(self):
+        report = run_lint([ROOT / "src" / "repro"])
+        assert report.ok, report.describe()
+        # warnings (e.g. stale allowlist entries) must not accumulate
+        assert report.findings == [], report.describe()
+        assert report.files_checked > 80
+
+    def test_allowlist_discovered_from_repo_root(self):
+        found = find_allowlist(ROOT / "src" / "repro")
+        assert found is not None and found.name == ".oblint.json"
+        entries = load_allowlist(found)
+        assert all(entry.reason for entry in entries)
+
+
+class TestSuppressionAndAllowlistMechanics:
+    def test_reasoned_suppression_suppresses(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(textwrap.dedent("""\
+            import time
+
+
+            def deadline() -> float:
+                return time.time()  # oblint: disable=OBL201 -- test stub
+        """))
+        report = run_lint([target], allowlist=())
+        assert report.findings == []
+        assert [rule for (finding, _) in report.suppressed
+                for rule in [finding.rule]] == ["OBL201"]
+
+    def test_reasonless_suppression_does_not_suppress(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(textwrap.dedent("""\
+            import time
+
+
+            def deadline() -> float:
+                return time.time()  # oblint: disable=OBL201
+        """))
+        report = run_lint([target], allowlist=())
+        fired = {finding.rule for finding in report.findings}
+        assert fired == {"OBL001", "OBL201"}
+
+    def test_allowlist_entry_must_give_reason(self, tmp_path):
+        bad = tmp_path / ".oblint.json"
+        bad.write_text(json.dumps(
+            {"entries": [{"rule": "OBL201", "path": "mod.py"}]}))
+        with pytest.raises(ValueError, match="reason"):
+            load_allowlist(bad)
+
+    def test_allowlisted_finding_is_recorded_not_reported(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n\n\ndef f() -> float:\n"
+                          "    return time.time()\n")
+        entry = AllowlistEntry(rule="OBL201", path="mod.py",
+                               reason="test fixture")
+        report = run_lint([target], allowlist=[entry])
+        assert report.findings == []
+        assert len(report.allowlisted) == 1
+
+    def test_unused_allowlist_entry_warns_obl003(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("X = 1\n")
+        entry = AllowlistEntry(rule="OBL201", path="nonexistent.py",
+                               reason="stale")
+        report = run_lint([target], allowlist=[entry])
+        assert [f.rule for f in report.findings] == ["OBL003"]
+        assert report.ok  # warnings do not fail the run
+
+    def test_unparsable_file_reports_obl002(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        report = run_lint([target], allowlist=())
+        assert [f.rule for f in report.findings] == ["OBL002"]
+        assert not report.ok
+
+    def test_report_json_is_machine_readable(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n\n\ndef f() -> float:\n"
+                          "    return time.time()\n")
+        payload = run_lint([target], allowlist=()).to_json()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["errors"] == 1
+        assert decoded["findings"][0]["rule"] == "OBL201"
+
+
+class TestRuleRegistry:
+    def test_rule_ids_unique_and_documented(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        package_doc = __import__("repro.lint", fromlist=["lint"]).__doc__
+        for rule_id in ids:
+            assert rule_id in package_doc
+
+    def test_default_rules_are_fresh_instances(self):
+        first, second = default_rules(), default_rules()
+        assert {r.id for r in first} == {rule.id for rule in ALL_RULES}
+        assert all(a is not b for a, b in zip(first, second))
+
+
+class TestMypyStrictGate:
+    """The other half of the typing gate; runs wherever mypy is
+    installed (the CI lint job), skips where it is not."""
+
+    def test_gated_packages_pass_mypy_strict(self, monkeypatch):
+        api = pytest.importorskip("mypy.api")
+        monkeypatch.setenv("MYPYPATH", str(ROOT / "src"))
+        monkeypatch.chdir(ROOT)
+        stdout, stderr, status = api.run([
+            "--strict",
+            "-p", "repro.crypto",
+            "-p", "repro.core",
+            "-p", "repro.ds",
+            "-p", "repro.storage",
+        ])
+        assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
