@@ -1,0 +1,121 @@
+"""Multi-core round execution: measured speedup vs the pipeline model.
+
+This is the wall-clock companion to ``bench_fig2c_cores.py``: where that
+benchmark sweeps the *simulated* :class:`~repro.sim.pipeline.PipelineModel`
+over worker counts, this one runs real rounds through
+:class:`repro.parallel.WorkerPool` on the machine's actual cores and
+overlays the measured rounds/sec curve on the model's prediction.
+
+Two families of assertion:
+
+* **Byte identity** (unconditional, any machine): the adversary trace
+  and response digests must be identical for every worker count, and
+  the shard-parallel ``PartitionedWaffle`` must match its serial twin
+  per partition.  Parallelism must be invisible to the adversary.
+* **Speedup** (gated on ``os.cpu_count()``): 2 workers ≥ 1.3× on a
+  ≥2-core machine, 4 workers ≥ 2.0× on a ≥4-core machine.  A 1-core
+  container can only verify identity, not speedup.
+
+Results are published to ``benchmarks/results/parallel.txt`` and, as
+machine-readable JSON, to ``BENCH_parallel.json`` at the repo root.
+Run standalone (``python benchmarks/bench_parallel.py``) or through
+pytest-benchmark like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+from repro.sim.perf import run_parallel_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _render(report: dict) -> str:
+    lines = [
+        "Multi-core round execution — measured vs modelled (Fig 2c regime)",
+        "",
+        f"machine cores: {report['cpu_count']}",
+        f"round shape: N={report['config']['n']} B={report['config']['b']} "
+        f"R={report['config']['r']} value={report['config']['value_size']}B "
+        f"({report['config']['rounds']} rounds per measurement)",
+        "",
+        f"{'workers':>7} {'rounds/s':>10} {'us/req':>10} "
+        f"{'measured':>9} {'modelled':>9}",
+    ]
+    for workers in sorted(report["measured"], key=int):
+        row = report["measured"][workers]
+        modeled = report["modeled_speedup"][workers]
+        lines.append(
+            f"{workers:>7} {row['rounds_per_sec']:>10.2f} "
+            f"{row['us_per_request']:>10.1f} {row['speedup']:>8.2f}x "
+            f"{modeled:>8.2f}x")
+    shard = report["shard_equivalence"]
+    small = report["small_shape_equivalence"]
+    lines += [
+        "",
+        "byte identity (adversary trace + responses):",
+        f"  across worker counts (bench shape) : "
+        + ("IDENTICAL" if report["digests_identical"] else "DIVERGED"),
+        f"  across worker counts (small shape) : "
+        + ("IDENTICAL" if small["identical"] else "DIVERGED"),
+        f"  shard-parallel vs serial partitions: "
+        + ("IDENTICAL" if shard["identical"] else "DIVERGED"),
+    ]
+    return "\n".join(lines)
+
+
+def _check(report: dict) -> None:
+    """The acceptance contract, shared by pytest and standalone runs."""
+    # Security first: parallelism must not perturb a single adversary-
+    # visible byte, regardless of how many cores this machine has.
+    assert report["digests_identical"], \
+        "adversary trace diverged across worker counts"
+    assert report["small_shape_equivalence"]["identical"], \
+        "small-shape trace diverged across worker counts"
+    assert report["shard_equivalence"]["identical"], \
+        "shard-parallel PartitionedWaffle diverged from serial"
+
+    # Performance, where the hardware can express it.
+    cores = os.cpu_count() or 1
+    measured = report["measured"]
+    if cores >= 2 and 2 in measured:
+        assert measured[2]["speedup"] >= 1.3, (
+            f"2 workers on {cores} cores: "
+            f"{measured[2]['speedup']:.2f}x < 1.3x")
+    if cores >= 4 and 4 in measured:
+        assert measured[4]["speedup"] >= 2.0, (
+            f"4 workers on {cores} cores: "
+            f"{measured[4]['speedup']:.2f}x < 2.0x")
+
+
+def run() -> dict:
+    return run_parallel_benchmark(worker_counts=WORKER_COUNTS)
+
+
+def test_parallel_rounds(benchmark):
+    from conftest import emit_result
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_result("parallel", _render(report), data=report)
+    JSON_PATH.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    _check(report)
+
+
+def main() -> int:
+    report = run()
+    print(_render(report))
+    JSON_PATH.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    print(f"\nreport -> {JSON_PATH}")
+    _check(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -254,19 +254,41 @@ class WaffleProxy:
         )
 
         # -------------------- read phase --------------------
-        for request in requests:
-            key = request.key
-            if key not in real_index:
-                raise ProtocolError(f"request for unknown key: {key!r}")
+        # Consecutive READ requests probe the cache through one bulk
+        # get_if_present_many call (a pure READ run performs no cache
+        # mutations, so batching the probes cannot reorder anything:
+        # recency bumps land hit-by-hit in request order, exactly as the
+        # scalar loop produced them).  WRITE requests mutate the cache
+        # and therefore stay scalar, bounding each run at the next write.
+        index = 0
+        total = len(requests)
+        while index < total:
+            request = requests[index]
             if request.op is Operation.READ:
-                value = self.cache.get_if_present(key, _MISS)
-                if value is not _MISS:
-                    cli_resp[request.request_id] = value
-                    stats.cache_hits += 1
-                    stats.cache_ops += 1
-                else:
-                    dedup.setdefault(key, []).append((request.request_id, True))
+                run_end = index + 1
+                while (run_end < total
+                       and requests[run_end].op is Operation.READ):
+                    run_end += 1
+                run = requests[index:run_end]
+                values = self.cache.get_if_present_many(
+                    [req.key for req in run], _MISS)
+                for req, value in zip(run, values):
+                    key = req.key
+                    if key not in real_index:
+                        raise ProtocolError(
+                            f"request for unknown key: {key!r}")
+                    if value is not _MISS:
+                        cli_resp[req.request_id] = value
+                        stats.cache_hits += 1
+                        stats.cache_ops += 1
+                    else:
+                        dedup.setdefault(key, []).append(
+                            (req.request_id, True))
+                index = run_end
             else:  # WRITE
+                key = request.key
+                if key not in real_index:
+                    raise ProtocolError(f"request for unknown key: {key!r}")
                 if key in self.cache:
                     self.cache.put(key, request.value)
                     stats.cache_hits += 1
@@ -275,6 +297,7 @@ class WaffleProxy:
                     self.cache.put(key, request.value)
                 stats.cache_ops += 1
                 cli_resp[request.request_id] = request.value
+                index += 1
 
         read_batch: dict[str, str] = {}  # storage id -> plaintext key
         dedup_pairs = [(key, real_index.timestamp(key)) for key in dedup]
@@ -490,10 +513,13 @@ class WaffleProxy:
             obs.observe_span("phase.evict", _t5 - _t4,
                              labels={"system": "waffle"}, round=self.ts)
 
-        write_ids = self._encode_ids([(key, ts) for key, ts, _ in write_plan])
-        ciphertexts = self.keychain.cipher.encrypt_many(
-            [value for _, _, value in write_plan]
+        write_ids, ciphertexts = self.keychain.seal_many(
+            [(key, ts) for key, ts, _ in write_plan],
+            [value for _, _, value in write_plan],
         )
+        if self.id_log is not None:
+            for sid, (key, _, _) in zip(write_ids, write_plan):
+                self.id_log[sid] = key
         write_batch = list(zip(write_ids, ciphertexts))
         if observing:
             _t6 = _pc()

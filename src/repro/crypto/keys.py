@@ -53,3 +53,16 @@ class KeyChain:
                   rng: RandomSource | None = None) -> "KeyChain":
         """Deterministic keychain for reproducible experiments."""
         return cls(seed.to_bytes(16, "big", signed=True), rng=rng)
+
+    def seal_many(self, pairs: list[tuple[str, int]],
+                  values: list[bytes]) -> tuple[list[str], list[bytes]]:
+        """Derive storage ids for ``pairs`` and encrypt ``values``.
+
+        The proxy's write phase funnels through this single entry point
+        so that alternative kernel sets (scalar references, pooled
+        parallel kernels) slot in by swapping ``prf``/``cipher`` without
+        touching the protocol code.  Output order matches input order;
+        nonce draws happen in ``values`` order, exactly as separate
+        ``derive_many`` + ``encrypt_many`` calls would.
+        """
+        return self.prf.derive_many(pairs), self.cipher.encrypt_many(values)

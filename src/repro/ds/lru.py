@@ -17,7 +17,7 @@ the implementation must respect:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Generic, Iterator, TypeVar
+from typing import Any, Generic, Iterable, Iterator, TypeVar
 
 __all__ = ["LruCache"]
 
@@ -72,6 +72,31 @@ class LruCache(Generic[K, V]):
             return default
         self._entries.move_to_end(key)
         return value
+
+    def get_if_present_many(self, keys: Iterable[K],
+                            default: Any = None) -> list[Any]:
+        """Bulk :meth:`get_if_present`: one result per key, in order.
+
+        Semantically identical to calling :meth:`get_if_present` per key
+        — recency bumps happen hit-by-hit in input order, so the LRU
+        order (and hence the β eviction order) is unchanged.  The bulk
+        form exists because hoisting the dict/``move_to_end`` lookups
+        out of the probe loop is worth ~1.4x on the proxy's read phase
+        (``bench_cache_kernel``); the per-call form lost to the plain
+        ``in`` + ``get`` double descent on attribute dispatch alone.
+        """
+        get = self._entries.get
+        move = self._entries.move_to_end
+        out: list[Any] = []
+        append = out.append
+        for key in keys:
+            value = get(key, _MISSING)
+            if value is _MISSING:
+                append(default)
+            else:
+                move(key)
+                append(value)
+        return out
 
     def touch_if_present(self, key: K) -> bool:
         """Mark ``key`` most recently used if cached; report whether it was."""

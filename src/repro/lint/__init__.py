@@ -13,6 +13,7 @@ Rules (see :mod:`repro.lint.rules` and DESIGN.md §9):
 OBL001   suppression comment without a reason
 OBL002   unknown rule id in a suppression / unparsable file
 OBL003   allowlist entry that matched nothing (warning)
+OBL004   stray editor/merge artifact (*.tmp, *.orig, ...) in the tree
 OBL101   plaintext key/value reaches a server-storage call
 OBL102   plaintext key/value reaches a trace/log emission
 OBL103   key-dependent branch guards server I/O

@@ -60,6 +60,17 @@ _SUPPRESSION_RE = re.compile(
 #: pretend to live at a path so path-scoped rules apply to them.
 _FIXTURE_PATH_RE = re.compile(r"#\s*oblint-fixture-path:\s*(\S+)")
 
+#: Editor/merge droppings that must never be committed to a linted tree
+#: (OBL004); a stray ``.tmp`` next to a module is dead code waiting to be
+#: confused with the real thing.
+_ARTIFACT_PATTERNS = ("*.tmp", "*.orig", "*.rej", "*.bak")
+
+#: Findings the engine emits itself (no :class:`Rule` plugin): OBL001/2
+#: suppression hygiene, OBL003 stale allowlist entries, OBL004 stray
+#: artifact files.  Registered as known ids so suppressing or
+#: allowlisting them is not itself flagged as an unknown rule.
+_ENGINE_RULE_IDS = frozenset({"OBL001", "OBL002", "OBL003", "OBL004"})
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -256,7 +267,7 @@ class LintEngine:
             raise ValueError(f"duplicate rule ids: {ids}")
         self.rules = list(rules)
         self.allowlist = list(allowlist)
-        self.known_ids = set(ids)
+        self.known_ids = set(ids) | set(_ENGINE_RULE_IDS)
 
     # ------------------------------------------------------------------
     # discovery
@@ -294,9 +305,40 @@ class LintEngine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    @staticmethod
+    def _stray_artifacts(paths: Iterable[str | Path]) -> list[Path]:
+        """Artifact files (``*.tmp``/``*.orig``/...) under ``paths``."""
+        found: set[Path] = set()
+        for entry in paths:
+            path = Path(entry)
+            if path.is_dir():
+                for pattern in _ARTIFACT_PATTERNS:
+                    found.update(p for p in path.rglob(pattern)
+                                 if "__pycache__" not in p.parts)
+            elif path.exists() and any(
+                    fnmatch.fnmatchcase(path.name, pattern)
+                    for pattern in _ARTIFACT_PATTERNS):
+                found.add(path)
+        return sorted(found)
+
     def run(self, paths: Iterable[str | Path]) -> LintReport:
         report = LintReport(rules_run=len(self.rules))
         used_allowlist: set[int] = set()
+        # OBL004: artifact files are findings even though they are not
+        # Python modules (and therefore can carry no inline suppression;
+        # only the allowlist can except them).
+        for stray in self._stray_artifacts(paths):
+            finding = Finding(
+                rule="OBL004", path=self._relpath(stray), line=1, col=1,
+                message=(f"stray editor/merge artifact {stray.name!r} "
+                         "committed to the tree; delete it"))
+            for i, entry in enumerate(self.allowlist):
+                if entry.matches(finding):
+                    used_allowlist.add(i)
+                    report.allowlisted.append((finding, entry))
+                    break
+            else:
+                report.findings.append(finding)
         for path in self.discover(paths):
             source = path.read_text(encoding="utf-8")
             try:

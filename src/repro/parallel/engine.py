@@ -1,0 +1,281 @@
+"""Worker-pool round execution engine (coordinator side).
+
+A Waffle round has two kinds of work (DESIGN.md §10, and the mechanism
+:mod:`repro.sim.pipeline` models): *assembly* — dedup, fake-query
+sampling, treap/LRU updates — which mutates shared proxy state and must
+stay on the coordinating thread, and the *embarrassingly parallel* kernel
+work — PRF id derivation and AEAD encrypt/decrypt over the B+D batch —
+which is a pure function of its inputs.  :class:`WorkerPool` spreads the
+latter across ``concurrent.futures`` process workers; :class:`PooledPrf`
+and :class:`PooledCipher` wrap the real kernels with the exact same call
+surface, so an unmodified :class:`~repro.core.proxy.WaffleProxy` runs
+pooled via :func:`attach_pool` with zero protocol changes.
+
+Determinism contract (pinned by ``tests/test_parallel.py`` and the chaos
+determinism suite): pooled output is byte-identical to inline execution
+for every worker count.  Two mechanisms guarantee it:
+
+* PRF derivation and AEAD decryption are deterministic functions;
+* AEAD *encryption* nonces are drawn serially on the coordinator, in
+  input order, from the inner cipher's own rng —  workers only consume
+  the nonce they are handed, so the proxy's rng stream advances
+  draw-for-draw identically to inline execution.
+
+Checkpoint compatibility: :mod:`repro.ha.checkpoint` pickles the proxy's
+keychain.  The pooled wrappers reduce to their *inner* kernels on
+pickle — a restored standby starts with plain kernels (byte-identical
+behaviour) and the chaos runner re-attaches the pool after promotion.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.crypto.aead import AuthenticatedCipher
+from repro.crypto.keys import KeyChain
+from repro.crypto.prf import Prf
+from repro.obs import OBS
+from repro.parallel.worker import (
+    init_worker,
+    pack_frames,
+    run_chunk,
+    unpack_frames,
+)
+
+__all__ = ["PooledCipher", "PooledPrf", "WorkerPool", "attach_pool",
+           "detach_pool", "unwrap_kernel"]
+
+#: Below this many items a dispatch is not worth the serialization and
+#: scheduling cost; the wrappers fall back to the inline kernel.  The
+#: chaos determinism tests pass ``min_batch=1`` to force pool traffic
+#: even at chaos-sized batches.
+_DEFAULT_MIN_BATCH = 32
+
+#: Target items per chunk; the pool never splits finer than this (fewer,
+#: larger chunks amortize pickling) nor wider than the worker count.
+_DEFAULT_CHUNK_ITEMS = 48
+
+
+def unwrap_kernel(inner: object) -> object:
+    """Pickle helper: a pooled wrapper unpickles as its inner kernel."""
+    return inner
+
+
+class WorkerPool:
+    """A process pool executing chunked crypto kernels.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``1`` keeps everything inline (no
+        subprocesses, no serialization) — the baseline the speedup curve
+        is measured against.
+    min_batch:
+        Smallest batch worth offloading; smaller calls run inline.
+    chunk_items:
+        Target items per chunk (see module docstring).
+
+    The pool is key-agnostic: each chunk carries the key material that
+    parameterizes its kernel, and workers cache kernels per material.
+    One pool therefore serves any number of keychains (partitions,
+    reseeded chaos episodes) for its whole lifetime.
+    """
+
+    def __init__(self, workers: int, min_batch: int = _DEFAULT_MIN_BATCH,
+                 chunk_items: int = _DEFAULT_CHUNK_ITEMS) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if min_batch < 1 or chunk_items < 1:
+            raise ValueError("min_batch and chunk_items must be positive")
+        self.workers = workers
+        self.min_batch = min_batch
+        self.chunk_items = chunk_items
+        self._executor: ProcessPoolExecutor | None = None
+        if workers > 1:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0])
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx, initializer=init_worker)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def offloads(self, items: int) -> bool:
+        """Whether a batch of ``items`` goes to the pool or stays inline."""
+        return self._executor is not None and items >= self.min_batch
+
+    def run(self, kind: str, material: tuple[bytes, ...],
+            frames: list[bytes]) -> list[bytes]:
+        """Execute ``frames`` through the workers; results in input order."""
+        executor = self._executor
+        if executor is None:
+            raise RuntimeError("single-worker pool has no executor; "
+                               "callers must check offloads() first")
+        chunks = max(1, min(self.workers,
+                            (len(frames) + self.chunk_items - 1)
+                            // self.chunk_items))
+        per_chunk = (len(frames) + chunks - 1) // chunks
+        observing = OBS.enabled
+        if observing:
+            start = time.perf_counter()
+        pending: list[tuple[Future[bytes], float, int]] = []
+        out_bytes = 0
+        for lo in range(0, len(frames), per_chunk):
+            payload = pack_frames(frames[lo: lo + per_chunk])
+            out_bytes += len(payload)
+            pending.append((executor.submit(run_chunk, kind, material,
+                                            payload),
+                            time.perf_counter() if observing else 0.0,
+                            len(payload)))
+        if observing:
+            labels = {"workers": str(self.workers)}
+            reg = OBS.registry
+            reg.gauge("parallel.pool.queue.depth", **labels).set(len(pending))
+            wait_hist = reg.histogram("parallel.chunk.wait.seconds", **labels)
+        results: list[bytes] = []
+        in_bytes = 0
+        for future, submitted, _ in pending:
+            payload = future.result()
+            in_bytes += len(payload)
+            if observing:
+                wait_hist.observe(time.perf_counter() - submitted)
+            results.extend(unpack_frames(payload))
+        if observing:
+            reg.gauge("parallel.pool.queue.depth", **labels).set(0)
+            reg.counter("parallel.chunks.total", **labels).inc(len(pending))
+            reg.counter("parallel.items.total", **labels).inc(len(frames))
+            reg.counter("parallel.serialized.bytes.total", dir="out",
+                        **labels).inc(out_bytes)
+            reg.counter("parallel.serialized.bytes.total", dir="in",
+                        **labels).inc(in_bytes)
+            OBS.observe_kernel("pooled." + kind,
+                               time.perf_counter() - start, len(frames))
+        return results
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class PooledPrf:
+    """Drop-in :class:`~repro.crypto.prf.Prf` running batches on a pool."""
+
+    __slots__ = ("_inner", "_pool", "_material")
+
+    def __init__(self, inner: Prf, pool: WorkerPool) -> None:
+        self._inner = inner
+        self._pool = pool
+        self._material = (inner.__getstate__(),)
+
+    @property
+    def inner(self) -> Prf:
+        return self._inner
+
+    def derive(self, key: str, timestamp: int) -> str:
+        return self._inner.derive(key, timestamp)
+
+    def derive_bytes(self, data: bytes) -> bytes:
+        return self._inner.derive_bytes(data)
+
+    def derive_many(self, pairs: Iterable[tuple[str, int]]) -> list[str]:
+        items = list(pairs)
+        if not self._pool.offloads(len(items)):
+            return self._inner.derive_many(items)
+        frames = [
+            key.encode("utf-8") + b"\x00" + str(int(timestamp)).encode()
+            for key, timestamp in items
+        ]
+        return [frame.decode("ascii")
+                for frame in self._pool.run("derive", self._material, frames)]
+
+    def __reduce__(self):
+        # Checkpoints must not capture the pool (process handles do not
+        # pickle); the inner kernel is behaviourally identical.
+        return (unwrap_kernel, (self._inner,))
+
+
+class PooledCipher:
+    """Drop-in :class:`AuthenticatedCipher` running batches on a pool."""
+
+    __slots__ = ("_inner", "_pool", "_material")
+
+    def __init__(self, inner: AuthenticatedCipher, pool: WorkerPool) -> None:
+        self._inner = inner
+        self._pool = pool
+        enc_key, mac_key, _ = inner.__getstate__()
+        self._material = (b"aead", enc_key, mac_key)
+
+    @property
+    def inner(self) -> AuthenticatedCipher:
+        return self._inner
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return self._inner.encrypt(plaintext)
+
+    def decrypt(self, blob: bytes) -> bytes:
+        return self._inner.decrypt(blob)
+
+    def ciphertext_overhead(self) -> int:
+        return self._inner.ciphertext_overhead()
+
+    def encrypt_many(self, plaintexts: Iterable[bytes]) -> list[bytes]:
+        items = list(plaintexts)
+        if not self._pool.offloads(len(items)):
+            return self._inner.encrypt_many(items)
+        # Nonces are drawn serially, in input order, from the inner
+        # cipher's rng: the proxy rng stream (and hence the adversary
+        # trace) is draw-for-draw identical to inline execution.
+        nonces = self._inner.draw_nonces(len(items))
+        frames = [nonce + plaintext
+                  for nonce, plaintext in zip(nonces, items)]
+        return self._pool.run("encrypt", self._material, frames)
+
+    def decrypt_many(self, blobs: Sequence[bytes]) -> list[bytes]:
+        items = list(blobs)
+        if not self._pool.offloads(len(items)):
+            return self._inner.decrypt_many(items)
+        return self._pool.run("decrypt", self._material, items)
+
+    def __reduce__(self):
+        return (unwrap_kernel, (self._inner,))
+
+
+def attach_pool(proxy: object, pool: WorkerPool) -> None:
+    """Route ``proxy``'s batched crypto through ``pool`` (idempotent).
+
+    Re-attaching after a checkpoint restore (which reduces the wrappers
+    back to plain kernels) or with a different pool replaces the wrapper
+    but keeps the same inner kernel, so behaviour never changes.
+    """
+    chain: KeyChain = proxy.keychain  # type: ignore[attr-defined]
+    prf = chain.prf
+    if isinstance(prf, PooledPrf):
+        prf = prf.inner
+    cipher = chain.cipher
+    if isinstance(cipher, PooledCipher):
+        cipher = cipher.inner
+    chain.prf = PooledPrf(prf, pool)  # type: ignore[assignment]
+    chain.cipher = PooledCipher(cipher, pool)  # type: ignore[assignment]
+
+
+def detach_pool(proxy: object) -> None:
+    """Restore ``proxy``'s plain kernels (inverse of :func:`attach_pool`)."""
+    chain: KeyChain = proxy.keychain  # type: ignore[attr-defined]
+    if isinstance(chain.prf, PooledPrf):
+        chain.prf = chain.prf.inner
+    if isinstance(chain.cipher, PooledCipher):
+        chain.cipher = chain.cipher.inner

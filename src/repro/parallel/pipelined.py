@@ -1,0 +1,188 @@
+"""Double-buffered round pipelining over a storage backend.
+
+The last thing a round does on the server is ``commit_round`` — the B
+deletes + B writes — and the first server touch of the *next* round is
+its ``multi_get``.  Everything between (dedup, fake-query sampling, the
+PRF pass over the next read batch) is pure proxy CPU.
+:class:`PipelinedStore` exploits that window: ``commit_round`` (and the
+round-boundary ``next_round`` marker) are *enqueued* to a single
+background drain thread, so round k's server I/O overlaps round k+1's
+assembly and crypto; every synchronous operation first waits for the
+queue to drain (:meth:`barrier`), so batch composition never observes —
+or depends on — in-flight results.
+
+Correctness properties:
+
+* **Ordering** — the queue is FIFO and there is exactly one drain
+  thread, so the backend (and any :class:`RecordingStore` beneath this
+  wrapper) sees precisely the serial operation sequence: the
+  adversary-visible trace is byte-identical to unpipelined execution
+  (pinned by ``tests/test_parallel.py``).
+* **Read-your-writes** — ``multi_get`` barriers first, so a read can
+  never overtake the previous round's deletes/writes.
+* **Error propagation** — an exception on the drain thread is captured
+  and re-raised (same object) at the next barrier or :meth:`close`;
+  nothing is silently dropped.
+* **Bounded depth** — the queue holds at most ``depth`` round commits
+  (default 2: classic double buffering), so a slow server back-pressures
+  the proxy instead of growing an unbounded backlog.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Iterable, Sequence
+
+from repro.obs import OBS
+from repro.storage.base import StorageBackend
+
+__all__ = ["PipelinedStore"]
+
+_STOP = object()
+
+
+class PipelinedStore(StorageBackend):
+    """Wrap ``inner`` so round commits run on a background drain thread.
+
+    Parameters
+    ----------
+    inner:
+        The real backend (typically a :class:`~repro.net.client.RemoteStore`
+        or a recording stack); all operations are forwarded to it in
+        their original order.
+    depth:
+        Maximum queued round boundaries before ``commit_round`` blocks.
+    """
+
+    def __init__(self, inner: StorageBackend, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError("pipeline depth must be positive")
+        self._inner = inner
+        self._tasks: queue.Queue = queue.Queue(maxsize=2 * depth)
+        #: Exceptions raised on the drain thread (list.append is atomic
+        #: under the GIL; no lock needed for this error mailbox).
+        self._errors: list[BaseException] = []
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._drain, name="pipelined-store-drain", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # drain thread
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        tasks = self._tasks
+        while True:
+            task = tasks.get()
+            if task is _STOP:
+                tasks.task_done()
+                return
+            try:
+                kind, args = task
+                if kind == "commit":
+                    self._inner.commit_round(*args)
+                else:  # "next_round"
+                    forward = getattr(self._inner, "next_round", None)
+                    if forward is not None:
+                        forward()
+            except BaseException as error:  # noqa: BLE001 - re-raised at barrier
+                self._errors.append(error)
+            finally:
+                tasks.task_done()
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every queued operation has been applied.
+
+        Re-raises the first error captured on the drain thread, so
+        failures surface on the proxy thread at the next synchronous
+        touch rather than disappearing into the background.
+        """
+        if OBS.enabled:
+            start = time.perf_counter()
+            self._tasks.join()
+            OBS.registry.histogram("parallel.pipeline.stall.seconds").observe(
+                time.perf_counter() - start)
+        else:
+            self._tasks.join()
+        if self._errors:
+            error = self._errors[0]
+            self._errors.clear()
+            raise error
+
+    def close(self) -> None:
+        """Drain outstanding work and stop the background thread."""
+        if self._closed:
+            return
+        self._closed = True
+        self._tasks.join()
+        self._tasks.put(_STOP)
+        self._thread.join()
+        if self._errors:
+            error = self._errors[0]
+            self._errors.clear()
+            raise error
+
+    def __enter__(self) -> "PipelinedStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # asynchronous round boundary
+    # ------------------------------------------------------------------
+    def commit_round(self, deletes: Sequence[str],
+                     puts: Sequence[tuple[str, bytes]]) -> None:
+        if self._closed:
+            raise RuntimeError("pipelined store is closed")
+        # Materialize before enqueueing: the caller may mutate its lists
+        # after handle_batch returns, while the commit is still in flight.
+        self._tasks.put(("commit", (list(deletes), list(puts))))
+        if OBS.enabled:
+            OBS.registry.gauge("parallel.pipeline.depth").set(
+                self._tasks.qsize())
+
+    def next_round(self) -> None:
+        if self._closed:
+            raise RuntimeError("pipelined store is closed")
+        self._tasks.put(("next_round", ()))
+
+    # ------------------------------------------------------------------
+    # synchronous operations (barrier, then forward)
+    # ------------------------------------------------------------------
+    def get(self, storage_id: str) -> bytes:
+        self.barrier()
+        return self._inner.get(storage_id)
+
+    def put(self, storage_id: str, blob: bytes) -> None:
+        self.barrier()
+        self._inner.put(storage_id, blob)
+
+    def delete(self, storage_id: str) -> None:
+        self.barrier()
+        self._inner.delete(storage_id)
+
+    def multi_get(self, storage_ids: Sequence[str]) -> list[bytes]:
+        self.barrier()
+        return self._inner.multi_get(storage_ids)
+
+    def multi_put(self, pairs: Iterable[tuple[str, bytes]]) -> None:
+        self.barrier()
+        self._inner.multi_put(pairs)
+
+    def multi_delete(self, storage_ids: Sequence[str]) -> None:
+        self.barrier()
+        self._inner.multi_delete(storage_ids)
+
+    def __contains__(self, storage_id: object) -> bool:
+        self.barrier()
+        return storage_id in self._inner
+
+    def __len__(self) -> int:
+        self.barrier()
+        return len(self._inner)

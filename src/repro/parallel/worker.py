@@ -1,0 +1,124 @@
+"""Process-worker side of the parallel round engine.
+
+The coordinator ships each chunk of kernel work as one contiguous bytes
+payload (length-prefixed frames) plus the key material that parameterizes
+the kernel.  Shipping *one* bytes object per chunk matters: pickling a
+list of thousands of small strings/tuples costs more than the crypto it
+feeds, while a single bytes payload is a near-memcpy through the
+``multiprocessing`` pipe.
+
+Workers are stateless apart from a per-process kernel cache keyed by the
+raw key material, so one pool serves any number of keychains (each
+partition of a :class:`~repro.scaleout.partitioned.PartitionedWaffle`
+carries its own keys, and every chaos episode reseeds) without respawn.
+
+Everything here is a pure function of its inputs: PRF derivation is
+deterministic, and AEAD encryption receives its nonces from the
+coordinator (drawn serially, in input order, from the proxy cipher's own
+rng) — so pooled output is byte-identical to inline execution, which the
+determinism tests pin across worker counts.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aead import AuthenticatedCipher
+from repro.crypto.prf import Prf
+
+__all__ = [
+    "NONCE_LEN",
+    "init_worker",
+    "pack_frames",
+    "run_chunk",
+    "unpack_frames",
+]
+
+NONCE_LEN = 16
+
+#: Per-process kernel cache: key material -> constructed kernel.  Bounded
+#: in practice by the number of distinct keychains the coordinator uses.
+_KERNELS: dict[tuple[bytes, ...], object] = {}
+
+
+def pack_frames(frames: list[bytes]) -> bytes:
+    """Concatenate ``frames`` into one length-prefixed payload."""
+    parts = []
+    append = parts.append
+    for frame in frames:
+        append(len(frame).to_bytes(4, "big"))
+        append(frame)
+    return b"".join(parts)
+
+
+def unpack_frames(payload: bytes) -> list[bytes]:
+    """Inverse of :func:`pack_frames`."""
+    frames = []
+    append = frames.append
+    offset = 0
+    end = len(payload)
+    while offset < end:
+        length = int.from_bytes(payload[offset: offset + 4], "big")
+        offset += 4
+        append(payload[offset: offset + length])
+        offset += length
+    return frames
+
+
+def init_worker() -> None:
+    """Pool initializer run once per worker process.
+
+    Forked workers inherit the coordinator's observability switch; they
+    must not record (their registries are invisible copies) nor share the
+    parent's trace file descriptor, so the child's handle is forced off.
+    Workers also start with an empty kernel cache — fork may have copied
+    the parent's, which is harmless but stale entries waste memory.
+    """
+    from repro.obs import OBS
+
+    OBS.enabled = False
+    _KERNELS.clear()
+
+
+def _prf(material: tuple[bytes, ...]) -> Prf:
+    kernel = _KERNELS.get(material)
+    if kernel is None:
+        kernel = _KERNELS[material] = Prf(material[0])
+    return kernel  # type: ignore[return-value]
+
+
+def _cipher(material: tuple[bytes, ...]) -> AuthenticatedCipher:
+    kernel = _KERNELS.get(material)
+    if kernel is None:
+        kernel = _KERNELS[material] = AuthenticatedCipher(
+            enc_key=material[1], mac_key=material[2])
+    return kernel  # type: ignore[return-value]
+
+
+def run_chunk(kind: str, material: tuple[bytes, ...], payload: bytes) -> bytes:
+    """Execute one chunk of kernel work; returns a packed frame payload.
+
+    ``kind`` selects the kernel:
+
+    * ``"derive"`` — frames are raw PRF messages (the coordinator encodes
+      ``key || \\x00 || str(ts)`` exactly as :meth:`Prf.derive` does);
+      output frames are the 32-char hex storage ids as ASCII.
+    * ``"encrypt"`` — frames are ``nonce || plaintext`` with the nonce
+      drawn by the coordinator; output frames are AEAD blobs.
+    * ``"decrypt"`` — frames are AEAD blobs; output frames are
+      plaintexts.  A tampered blob raises, and the exception propagates
+      to the coordinator through the pool.
+    """
+    frames = unpack_frames(payload)
+    if kind == "derive":
+        derive_bytes = _prf(material).derive_bytes
+        out = [derive_bytes(frame).hex()[:32].encode("ascii")
+               for frame in frames]
+    elif kind == "encrypt":
+        cipher = _cipher(material)
+        out = cipher.encrypt_with_nonces(
+            [frame[NONCE_LEN:] for frame in frames],
+            [frame[:NONCE_LEN] for frame in frames])
+    elif kind == "decrypt":
+        out = _cipher(material).decrypt_many(frames)
+    else:
+        raise ValueError(f"unknown chunk kind {kind!r}")
+    return pack_frames(out)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hashlib
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.batch import ClientRequest, ClientResponse
 from repro.core.config import WaffleConfig
@@ -34,9 +35,12 @@ class PartitionedWaffle:
 
     def __init__(self, config: WaffleConfig, items: dict[str, bytes],
                  partitions: int, master_seed: int = 0,
-                 record: bool = False, log_ids: bool = False) -> None:
+                 record: bool = False, log_ids: bool = False,
+                 shard_workers: int = 1) -> None:
         if partitions < 1:
             raise ConfigurationError("need at least one partition")
+        if shard_workers < 1:
+            raise ConfigurationError("need at least one shard worker")
         self.partitions = partitions
         self._route_key = hashlib.sha256(
             b"route:%d" % master_seed).digest()[:8]
@@ -59,6 +63,18 @@ class PartitionedWaffle:
             for index in range(partitions)
         ]
         self.config = config
+        #: Shard-parallel dispatch: partitions are fully independent
+        #: deployments (disjoint proxies, keychains, servers, recorders),
+        #: so their rounds may run concurrently.  The merge below is
+        #: deterministic and each partition's adversary trace is the
+        #: byte-identical sequence serial execution produces — only the
+        #: interleaving *between* partitions (which the per-partition
+        #: adversary never sees) changes.
+        self._executor: ThreadPoolExecutor | None = None
+        if shard_workers > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(shard_workers, partitions),
+                thread_name_prefix="shard")
 
     # ------------------------------------------------------------------
     # routing
@@ -107,13 +123,30 @@ class PartitionedWaffle:
                               []).append(request)
         by_id: dict[int, ClientResponse] = {}
         r = self.config.r
-        for index, share in shares.items():
+
+        def run_share(index: int,
+                      share: list[ClientRequest]) -> list[ClientResponse]:
             # A partition accepts at most R requests per round; larger
             # shares run as consecutive rounds.
+            responses: list[ClientResponse] = []
             for start in range(0, len(share), r):
-                chunk = share[start: start + r]
-                for response in self.stores[index].execute_batch(chunk):
-                    by_id[response.request_id] = response
+                responses.extend(
+                    self.stores[index].execute_batch(share[start: start + r]))
+            return responses
+
+        if self._executor is None:
+            share_results = [run_share(index, share)
+                             for index, share in shares.items()]
+        else:
+            # Deterministic merge: futures are gathered in fixed partition
+            # order regardless of completion order, and responses key by
+            # request_id, so the output is identical to serial execution.
+            futures = [self._executor.submit(run_share, index, share)
+                       for index, share in sorted(shares.items())]
+            share_results = [future.result() for future in futures]
+        for responses in share_results:
+            for response in responses:
+                by_id[response.request_id] = response
         return [by_id[request.request_id] for request in requests]
 
     def insert(self, key: str, value: bytes) -> None:
@@ -124,6 +157,12 @@ class PartitionedWaffle:
 
     def contains_key(self, key: str) -> bool:
         return self.stores[self.partition_of(key)].proxy.contains_key(key)
+
+    def close(self) -> None:
+        """Shut down the shard executor (no-op for serial dispatch)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     # ------------------------------------------------------------------
     # introspection

@@ -59,8 +59,13 @@ __all__ = [
     "bench_index_kernel",
     "bench_prf_kernel",
     "bench_rounds",
+    "bench_rounds_parallel",
     "compare_obs_traces",
+    "compare_parallel_traces",
+    "compare_shard_traces",
     "compare_traces",
+    "parallel_round_config",
+    "run_parallel_benchmark",
     "run_wallclock_benchmark",
     "scalar_keychain",
 ]
@@ -350,11 +355,11 @@ def bench_cache_kernel(population: int = 4096, lookups: int = 4096,
     miss = object()
 
     def batched() -> int:
-        hits = 0
-        for key in probes:
-            if cache.get_if_present(key, miss) is not miss:
-                hits += 1
-        return hits
+        # The bulk probe kernel the proxy's read phase uses for runs of
+        # consecutive READ requests; the per-call get_if_present form
+        # lost to the double descent on attribute dispatch alone.
+        return sum(value is not miss
+                   for value in cache.get_if_present_many(probes, miss))
 
     assert scalar() == batched()
     scalar_s = _best_of(scalar, repeats)
@@ -547,6 +552,198 @@ def compare_obs_traces(n: int = 256, rounds: int = 8, seed: int = 47) -> dict:
         identical = identical and off == on
     out["identical"] = identical
     return out
+
+
+# ----------------------------------------------------------------------
+# parallel round execution (repro.parallel)
+# ----------------------------------------------------------------------
+def parallel_round_config(n: int = 1024, seed: int = 23, b: int = 128,
+                          value_size: int = 4096) -> WaffleConfig:
+    """A crypto-heavy round shape for the multi-core benchmark.
+
+    The paper-defaults shape at small N (B=10, 1 KiB values) spends a
+    few hundred microseconds of crypto per round — far below the cost of
+    dispatching to a process pool.  Figure 2c's regime is the opposite:
+    large batches of large values where PRF+AEAD dominate the round.
+    This shape (B=128, 4 KiB values by default) puts ~50 ms of kernel
+    work in each round, which is what the workers parallelize.
+    """
+    r = max(1, (2 * b) // 5)
+    f_d = max(1, b // 5)
+    return WaffleConfig(n=n, b=b, r=r, f_d=f_d, d=4 * f_d, c=n // 4,
+                        value_size=value_size, seed=seed)
+
+
+def bench_rounds_parallel(workers: int = 1, n: int = 1024, rounds: int = 12,
+                          seed: int = 23, b: int = 128,
+                          value_size: int = 4096,
+                          min_batch: int | None = None) -> dict:
+    """Drive one proxy through ``rounds`` batches with ``workers`` workers.
+
+    Returns wall-clock throughput plus the adversary-trace and response
+    digests, so one sweep yields both the speedup curve and the
+    byte-identity evidence.  ``workers=1`` runs fully inline (no pool) —
+    the baseline every other worker count is compared against.
+    """
+    from repro.parallel import WorkerPool, attach_pool
+
+    config = parallel_round_config(n=n, seed=seed, b=b,
+                                   value_size=value_size)
+    proxy = _build_proxy(config, KeyChain.from_seed(seed), record=True)
+    pool = None
+    if workers > 1:
+        pool = (WorkerPool(workers) if min_batch is None
+                else WorkerPool(workers, min_batch=min_batch))
+        attach_pool(proxy, pool)
+    try:
+        batches = _request_stream(config, rounds, seed)
+        responses = hashlib.sha256()
+        start = time.perf_counter()
+        for batch in batches:
+            for resp in proxy.handle_batch(batch):
+                responses.update(resp.key.encode() + b"\x00" + resp.value)
+        elapsed = time.perf_counter() - start
+    finally:
+        if pool is not None:
+            pool.close()
+    return {
+        "workers": workers,
+        "n": n,
+        "b": config.b,
+        "r": config.r,
+        "value_size": config.value_size,
+        "rounds": rounds,
+        "seconds": elapsed,
+        "rounds_per_sec": rounds / elapsed,
+        "us_per_request": elapsed / (rounds * config.r) * 1e6,
+        "trace": _trace_digest(proxy.store.records),
+        "responses": responses.hexdigest(),
+    }
+
+
+def compare_parallel_traces(worker_counts: Sequence[int] = (1, 2, 4, 8),
+                            n: int = 256, rounds: int = 6, seed: int = 31,
+                            b: int = 32, value_size: int = 512) -> dict:
+    """Byte-identity oracle across worker counts (small/fast shape).
+
+    ``min_batch=1`` forces every kernel call through the pool, so even
+    the small plan-phase PRF batches exercise the chunked dispatch path.
+    """
+    runs = {
+        workers: bench_rounds_parallel(
+            workers=workers, n=n, rounds=rounds, seed=seed, b=b,
+            value_size=value_size, min_batch=1)
+        for workers in worker_counts
+    }
+    digests = {workers: {"trace": row["trace"],
+                         "responses": row["responses"]}
+               for workers, row in runs.items()}
+    reference = next(iter(digests.values()))
+    digests["identical"] = all(row == reference
+                               for row in digests.values()
+                               if isinstance(row, dict))
+    return digests
+
+
+def compare_shard_traces(partitions: int = 2, shard_workers: int = 2,
+                         n_per_partition: int = 256, rounds: int = 6,
+                         seed: int = 13) -> dict:
+    """Serial vs shard-parallel ``PartitionedWaffle``: per-partition
+    adversary traces and the merged responses must be byte-identical."""
+    from repro.scaleout.partitioned import PartitionedWaffle
+
+    config = WaffleConfig.paper_defaults(n=n_per_partition, seed=seed)
+    candidates = (f"user{i:08d}" for i in range(64 * n_per_partition))
+    keys = PartitionedWaffle.plan_partitions(
+        candidates, n_per_partition, partitions, master_seed=seed)
+    items = {
+        key: f"value-of-{key}".encode().ljust(64, b".")
+        for key in keys
+    }
+    rng = random.Random(seed)
+    batches = []
+    for _ in range(rounds):
+        batch = []
+        for _ in range(partitions * config.r):
+            key = keys[rng.randrange(len(keys))]
+            if rng.random() < 0.3:
+                batch.append(ClientRequest(
+                    op=Operation.WRITE, key=key,
+                    value=b"write-%06d" % rng.randrange(10**6)))
+            else:
+                batch.append(ClientRequest(op=Operation.READ, key=key))
+        batches.append(batch)
+
+    out: dict = {}
+    for mode, workers in (("serial", 1), ("parallel", shard_workers)):
+        store = PartitionedWaffle(config, items, partitions,
+                                  master_seed=seed, record=True,
+                                  shard_workers=workers)
+        try:
+            responses = hashlib.sha256()
+            for batch in batches:
+                for resp in store.execute_batch(batch):
+                    responses.update(
+                        resp.key.encode() + b"\x00" + resp.value)
+            out[mode] = {
+                "traces": [_trace_digest(part.recorder.records)
+                           for part in store.stores],
+                "responses": responses.hexdigest(),
+            }
+        finally:
+            store.close()
+    out["identical"] = out["serial"] == out["parallel"]
+    return out
+
+
+def run_parallel_benchmark(worker_counts: Sequence[int] = (1, 2, 4, 8),
+                           n: int = 1024, rounds: int = 12,
+                           seed: int = 23) -> dict:
+    """The full multi-core report consumed by ``benchmarks/bench_parallel.py``.
+
+    Sweeps ``worker_counts`` through :func:`bench_rounds_parallel`,
+    overlays the measured speedup curve on the :class:`PipelineModel`
+    prediction for the same round shape, and bundles the byte-identity
+    oracles (worker counts and shard-parallel partitions).
+    """
+    from repro.sim.costmodel import CostModel
+    from repro.sim.pipeline import model_from_cost
+
+    config = parallel_round_config(n=n, seed=seed)
+    measured = {}
+    base = None
+    for workers in worker_counts:
+        row = bench_rounds_parallel(workers=workers, n=n, rounds=rounds,
+                                    seed=seed)
+        if base is None:
+            base = row["rounds_per_sec"]
+        row["speedup"] = row["rounds_per_sec"] / base
+        measured[workers] = row
+
+    model = model_from_cost(config, CostModel())
+    model_base = model.simulate(1).throughput_rounds_per_s
+    modeled = {
+        workers: model.simulate(workers).throughput_rounds_per_s / model_base
+        for workers in worker_counts
+    }
+
+    reference = {"trace": measured[worker_counts[0]]["trace"],
+                 "responses": measured[worker_counts[0]]["responses"]}
+    return {
+        "schema": "repro.parallel/1",
+        "cpu_count": os.cpu_count(),
+        "config": {"n": config.n, "b": config.b, "r": config.r,
+                   "f_d": config.f_d, "value_size": config.value_size,
+                   "rounds": rounds},
+        "measured": measured,
+        "modeled_speedup": modeled,
+        "digests_identical": all(
+            row["trace"] == reference["trace"]
+            and row["responses"] == reference["responses"]
+            for row in measured.values()),
+        "shard_equivalence": compare_shard_traces(),
+        "small_shape_equivalence": compare_parallel_traces(),
+    }
 
 
 def run_wallclock_benchmark(n: int = 2048, rounds: int = 30,

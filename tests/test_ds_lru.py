@@ -136,6 +136,47 @@ class TestGetIfPresent:
         assert cache.evict() == ("a", "a")
 
 
+class TestGetIfPresentMany:
+    def test_matches_scalar_results_and_recency(self):
+        """The bulk probe ≡ a get_if_present loop: same values, same
+        final recency order (hits bumped in input order)."""
+        import random
+        bulk, scalar = LruCache(16), LruCache(16)
+        rng = random.Random(23)
+        miss = object()
+        for name in range(16):
+            bulk.put(name, name * 10)
+            scalar.put(name, name * 10)
+        for _ in range(200):
+            probes = [rng.randrange(32) for _ in range(rng.randrange(1, 9))]
+            got_bulk = bulk.get_if_present_many(probes, miss)
+            got_scalar = [scalar.get_if_present(key, miss) for key in probes]
+            assert got_bulk == got_scalar
+            assert list(bulk.keys()) == list(scalar.keys())
+
+    def test_duplicate_probes_bump_in_order(self):
+        cache = LruCache(3)
+        for name in "abc":
+            cache.put(name, name)
+        assert cache.get_if_present_many(["a", "b", "a"]) == ["a", "b", "a"]
+        # "a" was touched last, so "c" is now least recent.
+        assert cache.evict() == ("c", "c")
+
+    def test_default_for_misses(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        assert cache.get_if_present_many(["a", "x"], default=-1) == [1, -1]
+        assert cache.get_if_present_many([]) == []
+
+    def test_misses_leave_no_trace(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        before = list(cache.keys())
+        cache.get_if_present_many(["x", "y", "z"])
+        assert list(cache.keys()) == before
+        assert len(cache) == 1
+
+
 class TestLruProperties:
     @settings(max_examples=150, deadline=None)
     @given(

@@ -138,6 +138,31 @@ class TestSuppressionAndAllowlistMechanics:
         assert [f.rule for f in report.findings] == ["OBL003"]
         assert report.ok  # warnings do not fail the run
 
+    def test_stray_artifact_reports_obl004(self, tmp_path):
+        (tmp_path / "mod.py").write_text("X = 1\n")
+        (tmp_path / "mod.py.tmp").write_text("X = 2  # half-saved edit\n")
+        (tmp_path / "merge.orig").write_text("conflict leftovers\n")
+        report = run_lint([tmp_path], allowlist=())
+        fired = sorted((f.rule, Path(f.path).name) for f in report.findings)
+        assert fired == [("OBL004", "merge.orig"), ("OBL004", "mod.py.tmp")]
+        assert not report.ok
+
+    def test_artifact_can_only_be_excepted_via_allowlist(self, tmp_path):
+        # Artifacts are not Python, so no inline suppression exists;
+        # a reasoned allowlist entry is the only escape hatch.
+        (tmp_path / "keep.bak").write_text("intentional\n")
+        entry = AllowlistEntry(rule="OBL004", path="keep.bak",
+                               reason="fixture for restore tooling")
+        report = run_lint([tmp_path], allowlist=[entry])
+        assert report.findings == []
+        assert [f.rule for (f, _) in report.allowlisted] == ["OBL004"]
+
+    def test_direct_artifact_path_reports_obl004(self, tmp_path):
+        stray = tmp_path / "notes.rej"
+        stray.write_text("rejected hunk\n")
+        report = run_lint([stray], allowlist=())
+        assert [f.rule for f in report.findings] == ["OBL004"]
+
     def test_unparsable_file_reports_obl002(self, tmp_path):
         target = tmp_path / "broken.py"
         target.write_text("def broken(:\n")
