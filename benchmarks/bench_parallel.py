@@ -4,26 +4,34 @@ This is the wall-clock companion to ``bench_fig2c_cores.py``: where that
 benchmark sweeps the *simulated* :class:`~repro.sim.pipeline.PipelineModel`
 over worker counts, this one runs real rounds through
 :class:`repro.parallel.WorkerPool` on the machine's actual cores and
-overlays the measured rounds/sec curve on the model's prediction.
+overlays the measured rounds/sec curve on the model's prediction.  Every
+pooled run moves its chunks through shared-memory segments; the report
+also re-measures one pooled point on the legacy pickle pipe so the
+transport win stays visible, and labels a run per crypto backend.
 
 Two families of assertion:
 
 * **Byte identity** (unconditional, any machine): the adversary trace
-  and response digests must be identical for every worker count, and
-  the shard-parallel ``PartitionedWaffle`` must match its serial twin
-  per partition.  Parallelism must be invisible to the adversary.
-* **Speedup** (gated on ``os.cpu_count()``): 2 workers ≥ 1.3× on a
-  ≥2-core machine, 4 workers ≥ 2.0× on a ≥4-core machine.  A 1-core
-  container can only verify identity, not speedup.
+  and response digests must be identical for every worker count, every
+  transport, and every backend × worker combination, and the
+  shard-parallel ``PartitionedWaffle`` must match its serial twin per
+  partition.  Parallelism must be invisible to the adversary.
+* **Speedup** (gated on ``os.cpu_count()``): 2 workers ≥ 1.5× and
+  4 workers ≥ 2.5× on a ≥4-core machine; 2 workers ≥ 1.3× when only
+  2–3 cores exist.  A gate the hardware cannot express is reported as a
+  loud SKIPPED line (and ``pytest.skip`` under pytest) — never a silent
+  pass.
 
 Results are published to ``benchmarks/results/parallel.txt`` and, as
 machine-readable JSON, to ``BENCH_parallel.json`` at the repo root.
-Run standalone (``python benchmarks/bench_parallel.py``) or through
-pytest-benchmark like the other benchmarks.
+Run standalone (``python benchmarks/bench_parallel.py``), optionally
+restricting the backend matrix with ``--backend`` (repeatable), or
+through pytest-benchmark like the other benchmarks.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import pathlib
@@ -56,64 +64,117 @@ def _render(report: dict) -> str:
             f"{workers:>7} {row['rounds_per_sec']:>10.2f} "
             f"{row['us_per_request']:>10.1f} {row['speedup']:>8.2f}x "
             f"{modeled:>8.2f}x")
+    if report["transports"]:
+        lines += ["", "transport ablation (same pooled point):"]
+        for transport, row in sorted(report["transports"].items()):
+            lines.append(
+                f"  {transport:>5} @ {row['workers']} workers: "
+                f"{row['rounds_per_sec']:>8.2f} rounds/s "
+                f"({row['speedup']:.2f}x vs serial)")
+    if report["backends"]:
+        lines += ["", "crypto backends (byte-identical; wall clock only):"]
+        for backend, runs in sorted(report["backends"].items()):
+            for workers, row in sorted(runs.items(), key=lambda kv: int(kv[0])):
+                lines.append(
+                    f"  {backend:>8} @ {workers} worker(s): "
+                    f"{row['rounds_per_sec']:>8.2f} rounds/s "
+                    f"({row['speedup']:.2f}x vs serial pure)")
     shard = report["shard_equivalence"]
     small = report["small_shape_equivalence"]
+    matrix = report["backend_equivalence"]
     lines += [
         "",
         "byte identity (adversary trace + responses):",
-        f"  across worker counts (bench shape) : "
+        f"  across workers/transports/backends  : "
         + ("IDENTICAL" if report["digests_identical"] else "DIVERGED"),
-        f"  across worker counts (small shape) : "
+        f"  across worker counts (small shape)  : "
         + ("IDENTICAL" if small["identical"] else "DIVERGED"),
-        f"  shard-parallel vs serial partitions: "
+        f"  backend x worker matrix "
+        f"({len(matrix['combos'])} combos)   : "
+        + ("IDENTICAL" if matrix["identical"] else "DIVERGED"),
+        f"  shard-parallel vs serial partitions : "
         + ("IDENTICAL" if shard["identical"] else "DIVERGED"),
     ]
     return "\n".join(lines)
 
 
-def _check(report: dict) -> None:
-    """The acceptance contract, shared by pytest and standalone runs."""
+def _check(report: dict) -> list[str]:
+    """The acceptance contract, shared by pytest and standalone runs.
+
+    Identity is asserted unconditionally.  Speedup gates the hardware
+    cannot express come back as skip reasons for the caller to surface
+    loudly — ``pytest.skip`` under pytest, printed SKIPPED lines
+    standalone — so an undersized runner can never silently pass.
+    """
     # Security first: parallelism must not perturb a single adversary-
     # visible byte, regardless of how many cores this machine has.
     assert report["digests_identical"], \
-        "adversary trace diverged across worker counts"
+        "adversary trace diverged across workers/transports/backends"
     assert report["small_shape_equivalence"]["identical"], \
         "small-shape trace diverged across worker counts"
+    assert report["backend_equivalence"]["identical"], \
+        "backend x worker matrix diverged from serial pure"
     assert report["shard_equivalence"]["identical"], \
         "shard-parallel PartitionedWaffle diverged from serial"
 
     # Performance, where the hardware can express it.
     cores = os.cpu_count() or 1
     measured = report["measured"]
-    if cores >= 2 and 2 in measured:
-        assert measured[2]["speedup"] >= 1.3, (
-            f"2 workers on {cores} cores: "
-            f"{measured[2]['speedup']:.2f}x < 1.3x")
-    if cores >= 4 and 4 in measured:
-        assert measured[4]["speedup"] >= 2.0, (
-            f"4 workers on {cores} cores: "
-            f"{measured[4]['speedup']:.2f}x < 2.0x")
+    skipped: list[str] = []
+    if cores >= 4:
+        if 2 in measured:
+            assert measured[2]["speedup"] >= 1.5, (
+                f"2 workers on {cores} cores: "
+                f"{measured[2]['speedup']:.2f}x < 1.5x")
+        if 4 in measured:
+            assert measured[4]["speedup"] >= 2.5, (
+                f"4 workers on {cores} cores: "
+                f"{measured[4]['speedup']:.2f}x < 2.5x")
+    elif cores >= 2:
+        if 2 in measured:
+            assert measured[2]["speedup"] >= 1.3, (
+                f"2 workers on {cores} cores: "
+                f"{measured[2]['speedup']:.2f}x < 1.3x")
+        skipped.append(
+            f"4-worker >= 2.5x gate needs >= 4 cores, machine has {cores}")
+    else:
+        skipped.append(
+            f"speedup gates (2w >= 1.5x, 4w >= 2.5x) need >= 2 cores, "
+            f"machine has {cores}: byte identity verified, speedup not")
+    return skipped
 
 
-def run() -> dict:
-    return run_parallel_benchmark(worker_counts=WORKER_COUNTS)
+def run(backends: list[str] | None = None) -> dict:
+    return run_parallel_benchmark(worker_counts=WORKER_COUNTS,
+                                  backends=backends)
 
 
 def test_parallel_rounds(benchmark):
+    import pytest
     from conftest import emit_result
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     emit_result("parallel", _render(report), data=report)
     JSON_PATH.write_text(json.dumps(report, indent=2, default=str) + "\n")
-    _check(report)
+    skipped = _check(report)
+    if skipped:
+        pytest.skip("; ".join(skipped))
 
 
-def main() -> int:
-    report = run()
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend", action="append", dest="backends", metavar="NAME",
+        help="crypto backend to include in the matrix (repeatable; "
+             "default: every available backend)")
+    args = parser.parse_args(argv)
+    report = run(backends=args.backends)
     print(_render(report))
     JSON_PATH.write_text(json.dumps(report, indent=2, default=str) + "\n")
     print(f"\nreport -> {JSON_PATH}")
-    _check(report)
+    skipped = _check(report)
+    for reason in skipped:
+        print(f"SKIPPED: {reason}")
     return 0
 
 

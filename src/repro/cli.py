@@ -153,6 +153,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="W1,W2,...",
                        help="worker counts to sweep with --parallel "
                             "(default 1,2,4,8)")
+    bench.add_argument("--backend", action="append", dest="backends",
+                       metavar="NAME",
+                       help="crypto backend for the --parallel matrix "
+                            "(repeatable; default: every available "
+                            "backend — see REPRO_CRYPTO_BACKEND)")
     bench.add_argument("--n", type=int, default=None,
                        help="database size (default: harness default)")
     bench.add_argument("--rounds", type=int, default=None,
@@ -409,9 +414,12 @@ def _run_bench(args) -> int:
     if args.rounds is not None:
         kwargs["rounds"] = args.rounds
     if args.parallel:
-        report = run_parallel_benchmark(worker_counts=args.workers, **kwargs)
+        report = run_parallel_benchmark(worker_counts=args.workers,
+                                        backends=args.backends, **kwargs)
         print(f"cpu_count={report['cpu_count']}  "
               f"digests_identical={report['digests_identical']}  "
+              f"backend_matrix_identical="
+              f"{report['backend_equivalence']['identical']}  "
               f"shard_identical={report['shard_equivalence']['identical']}")
         for workers, row in sorted(report["measured"].items()):
             modeled = report["modeled_speedup"].get(workers)
@@ -419,6 +427,15 @@ def _run_bench(args) -> int:
                   f"{row['rounds_per_sec']:.2f} rounds/s "
                   f"(speedup {row['speedup']:.2f}x, "
                   f"model {modeled:.2f}x)")
+        for transport, row in sorted(report["transports"].items()):
+            print(f"  transport={transport} @ {row['workers']} workers: "
+                  f"{row['rounds_per_sec']:.2f} rounds/s "
+                  f"(speedup {row['speedup']:.2f}x)")
+        for backend, runs in sorted(report["backends"].items()):
+            for workers, row in sorted(runs.items(), key=lambda kv: int(kv[0])):
+                print(f"  backend={backend} @ {workers} worker(s): "
+                      f"{row['rounds_per_sec']:.2f} rounds/s "
+                      f"(speedup {row['speedup']:.2f}x)")
     else:
         report = run_wallclock_benchmark(**kwargs)
         e2e = report["end_to_end"]

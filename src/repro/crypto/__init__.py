@@ -11,7 +11,21 @@ ciphertexts.
 """
 
 from repro.crypto.aead import AuthenticatedCipher
+from repro.crypto.backend import (
+    available_backend_names,
+    backend_names,
+    get_backend,
+    resolve_backend_name,
+)
 from repro.crypto.keys import KeyChain
 from repro.crypto.prf import Prf
 
-__all__ = ["AuthenticatedCipher", "KeyChain", "Prf"]
+__all__ = [
+    "AuthenticatedCipher",
+    "KeyChain",
+    "Prf",
+    "available_backend_names",
+    "backend_names",
+    "get_backend",
+    "resolve_backend_name",
+]

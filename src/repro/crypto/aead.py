@@ -103,6 +103,10 @@ class AuthenticatedCipher:
 
     __slots__ = ("_enc_key", "_mac_key", "_randbytes", "_stream_root", "_mac_keyed")
 
+    #: Registry name of the implementation (native subclasses override;
+    #: see :mod:`repro.crypto.backend`).  All backends are byte-identical.
+    backend_name = "pure"
+
     def __init__(self, enc_key: bytes, mac_key: bytes,
                  rng: RandomSource | None = None) -> None:
         if not enc_key or not mac_key:

@@ -12,6 +12,7 @@ from repro.lint.rules.determinism import (
     WildRandomCallRule,
 )
 from repro.lint.rules.layering import (
+    NativeCryptoImportRule,
     PrintOutsideCliRule,
     RawBackendRule,
     SocketOutsideNetRule,
@@ -39,6 +40,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SocketOutsideNetRule,
     PrintOutsideCliRule,
     UnbatchedDeleteRule,
+    NativeCryptoImportRule,
     UnlockedSharedWriteRule,
     TypingCompletenessRule,
 )

@@ -18,6 +18,7 @@ from repro.lint.engine import Finding, Module, Rule
 from repro.lint.rules._util import ImportMap, receiver_name
 
 __all__ = [
+    "NativeCryptoImportRule",
     "PrintOutsideCliRule",
     "RawBackendRule",
     "SocketOutsideNetRule",
@@ -110,6 +111,43 @@ class PrintOutsideCliRule(Rule):
                     self, node,
                     "print() outside the CLI; emit through the obs "
                     "export/logging path instead")
+
+
+#: Native crypto wheels; every import stays inside repro/crypto/ so the
+#: backend registry is the single place that probes, falls back, and
+#: proves byte-identity against the pure oracle.
+_NATIVE_CRYPTO = {"nacl", "cryptography"}
+
+_CRYPTO_SCOPE = "repro/crypto/"
+
+
+class NativeCryptoImportRule(Rule):
+    id = "OBL305"
+    name = "native-crypto-import"
+    description = ("nacl/cryptography imports outside crypto/ bypass the "
+                   "backend registry's availability probe and pure "
+                   "fallback; only repro.crypto may touch native wheels")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if module.relpath.startswith(_CRYPTO_SCOPE):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module is not None:
+                names = [node.module]
+            else:
+                continue
+            for name in names:
+                root = name.split(".", 1)[0]
+                if root in _NATIVE_CRYPTO:
+                    yield module.finding(
+                        self, node,
+                        f"import of native crypto package {root!r} "
+                        "outside crypto/; go through "
+                        "repro.crypto.backend.get_backend so the pure "
+                        "fallback and parity oracle apply")
 
 
 class UnbatchedDeleteRule(Rule):

@@ -26,15 +26,18 @@ from repro.parallel.engine import (
     detach_pool,
 )
 from repro.parallel.pipelined import PipelinedStore
-from repro.parallel.worker import pack_frames, unpack_frames
+from repro.parallel.shm import SegmentPool
+from repro.parallel.worker import iter_frames, pack_frames, unpack_frames
 
 __all__ = [
     "PipelinedStore",
     "PooledCipher",
     "PooledPrf",
+    "SegmentPool",
     "WorkerPool",
     "attach_pool",
     "detach_pool",
+    "iter_frames",
     "pack_frames",
     "unpack_frames",
 ]

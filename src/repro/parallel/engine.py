@@ -25,23 +25,37 @@ Checkpoint compatibility: :mod:`repro.ha.checkpoint` pickles the proxy's
 keychain.  The pooled wrappers reduce to their *inner* kernels on
 pickle — a restored standby starts with plain kernels (byte-identical
 behaviour) and the chaos runner re-attaches the pool after promotion.
+
+Transport: chunks default to shared-memory segments (see
+:mod:`repro.parallel.shm` — the coordinator packs frames into a pooled
+segment, workers read views and write results into a response segment,
+and only segment names cross the pipe), with the PR-5 pickle pipe kept
+as ``transport="pipe"`` for apples-to-apples benchmarking.  Both
+transports carry the crypto backend name in the chunk material, so
+workers always rebuild the coordinator's (byte-identical) kernel
+implementation.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from typing import Iterable, Sequence
 
 from repro.crypto.aead import AuthenticatedCipher
 from repro.crypto.keys import KeyChain
 from repro.crypto.prf import Prf
 from repro.obs import OBS
+from repro.parallel.shm import SegmentPool
 from repro.parallel.worker import (
     init_worker,
+    iter_frames,
     pack_frames,
+    pack_frames_into,
+    packed_size,
     run_chunk,
+    run_chunk_shm,
     unpack_frames,
 )
 
@@ -77,6 +91,12 @@ class WorkerPool:
         Smallest batch worth offloading; smaller calls run inline.
     chunk_items:
         Target items per chunk (see module docstring).
+    transport:
+        ``"shm"`` (default) moves chunks through pooled
+        :mod:`multiprocessing.shared_memory` segments — one copy in,
+        zero-copy worker reads, one copy out — with only segment names
+        crossing the pipe.  ``"pipe"`` is the PR-5 pickle channel, kept
+        as the comparison baseline the benchmark measures against.
 
     The pool is key-agnostic: each chunk carries the key material that
     parameterizes its kernel, and workers cache kernels per material.
@@ -85,21 +105,29 @@ class WorkerPool:
     """
 
     def __init__(self, workers: int, min_batch: int = _DEFAULT_MIN_BATCH,
-                 chunk_items: int = _DEFAULT_CHUNK_ITEMS) -> None:
+                 chunk_items: int = _DEFAULT_CHUNK_ITEMS,
+                 transport: str = "shm") -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         if min_batch < 1 or chunk_items < 1:
             raise ValueError("min_batch and chunk_items must be positive")
+        if transport not in ("shm", "pipe"):
+            raise ValueError(f"unknown transport {transport!r}; "
+                             "choose 'shm' or 'pipe'")
         self.workers = workers
         self.min_batch = min_batch
         self.chunk_items = chunk_items
+        self.transport = transport
         self._executor: ProcessPoolExecutor | None = None
+        self._segments: SegmentPool | None = None
         if workers > 1:
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context(
                 "fork" if "fork" in methods else methods[0])
             self._executor = ProcessPoolExecutor(
                 max_workers=workers, mp_context=ctx, initializer=init_worker)
+            if transport == "shm":
+                self._segments = SegmentPool(workers)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -109,8 +137,13 @@ class WorkerPool:
         return self._executor is not None and items >= self.min_batch
 
     def run(self, kind: str, material: tuple[bytes, ...],
-            frames: list[bytes]) -> list[bytes]:
-        """Execute ``frames`` through the workers; results in input order."""
+            frames: list) -> list[bytes]:
+        """Execute ``frames`` through the workers; results in input order.
+
+        A frame is bytes or a tuple of byte parts (packed contiguously);
+        the encrypt path passes ``(nonce, plaintext)`` pairs so no
+        concatenation happens on the coordinator.
+        """
         executor = self._executor
         if executor is None:
             raise RuntimeError("single-worker pool has no executor; "
@@ -122,31 +155,19 @@ class WorkerPool:
         observing = OBS.enabled
         if observing:
             start = time.perf_counter()
-        pending: list[tuple[Future[bytes], float, int]] = []
-        out_bytes = 0
-        for lo in range(0, len(frames), per_chunk):
-            payload = pack_frames(frames[lo: lo + per_chunk])
-            out_bytes += len(payload)
-            pending.append((executor.submit(run_chunk, kind, material,
-                                            payload),
-                            time.perf_counter() if observing else 0.0,
-                            len(payload)))
+        if self._segments is not None:
+            results, n_chunks, out_bytes, in_bytes, waits = self._run_shm(
+                kind, material, frames, per_chunk, observing)
+        else:
+            results, n_chunks, out_bytes, in_bytes, waits = self._run_pipe(
+                kind, material, frames, per_chunk, observing)
         if observing:
             labels = {"workers": str(self.workers)}
             reg = OBS.registry
-            reg.gauge("parallel.pool.queue.depth", **labels).set(len(pending))
             wait_hist = reg.histogram("parallel.chunk.wait.seconds", **labels)
-        results: list[bytes] = []
-        in_bytes = 0
-        for future, submitted, _ in pending:
-            payload = future.result()
-            in_bytes += len(payload)
-            if observing:
-                wait_hist.observe(time.perf_counter() - submitted)
-            results.extend(unpack_frames(payload))
-        if observing:
-            reg.gauge("parallel.pool.queue.depth", **labels).set(0)
-            reg.counter("parallel.chunks.total", **labels).inc(len(pending))
+            for elapsed in waits:
+                wait_hist.observe(elapsed)
+            reg.counter("parallel.chunks.total", **labels).inc(n_chunks)
             reg.counter("parallel.items.total", **labels).inc(len(frames))
             reg.counter("parallel.serialized.bytes.total", dir="out",
                         **labels).inc(out_bytes)
@@ -156,13 +177,101 @@ class WorkerPool:
                                time.perf_counter() - start, len(frames))
         return results
 
+    def _run_pipe(self, kind: str, material: tuple[bytes, ...], frames: list,
+                  per_chunk: int, observing: bool):
+        """Pickle-pipe transport: one bytes payload per chunk, each way."""
+        executor = self._executor
+        assert executor is not None
+        pending = []
+        out_bytes = 0
+        for lo in range(0, len(frames), per_chunk):
+            payload = pack_frames(frames[lo: lo + per_chunk])
+            out_bytes += len(payload)
+            pending.append((executor.submit(run_chunk, kind, material,
+                                            payload),
+                            time.perf_counter() if observing else 0.0))
+        results: list[bytes] = []
+        in_bytes = 0
+        waits = []
+        for future, submitted in pending:
+            payload = future.result()
+            in_bytes += len(payload)
+            if observing:
+                waits.append(time.perf_counter() - submitted)
+            results.extend(unpack_frames(payload))
+        return results, len(pending), out_bytes, in_bytes, waits
+
+    def _run_shm(self, kind: str, material: tuple[bytes, ...], frames: list,
+                 per_chunk: int, observing: bool):
+        """Shared-memory transport: frames cross in pooled segments.
+
+        The request is packed straight into a segment (one copy); the
+        worker reads views and packs its output into a response segment;
+        only names and lengths cross the pipe.  Segments return to the
+        free-list once their chunk's results are copied out — after a
+        failure the cleanup waits for every outstanding chunk first, so
+        a still-running worker can never scribble on a reused segment.
+        """
+        executor = self._executor
+        segments = self._segments
+        assert executor is not None and segments is not None
+        pending = []
+        out_bytes = 0
+        in_bytes = 0
+        waits: list[float] = []
+        results: list[bytes] = []
+        try:
+            for lo in range(0, len(frames), per_chunk):
+                chunk = frames[lo: lo + per_chunk]
+                request_len = packed_size(chunk)
+                request = segments.acquire(request_len)
+                pack_frames_into(chunk, request.buf)
+                out_bytes += request_len
+                # Sized for every kind's worst case: derive emits 36
+                # bytes per frame from arbitrarily small inputs, encrypt
+                # adds nonce+tag (48) per frame, decrypt only shrinks.
+                response_cap = request_len + 48 * len(chunk) + 64
+                response = segments.acquire(response_cap)
+                pending.append((
+                    executor.submit(run_chunk_shm, kind, material,
+                                    request.name, request_len,
+                                    response.name, response_cap),
+                    time.perf_counter() if observing else 0.0,
+                    request, response))
+            for future, submitted, _, response in pending:
+                response_len = future.result()
+                in_bytes += response_len
+                if observing:
+                    waits.append(time.perf_counter() - submitted)
+                results.extend(
+                    bytes(frame)
+                    for frame in iter_frames(response.buf[:response_len]))
+        finally:
+            # On the success path every future is already done; on
+            # failure, block until in-flight workers stop touching the
+            # segments before recycling them.
+            if pending:
+                wait([entry[0] for entry in pending])
+            for _, _, request, response in pending:
+                segments.release(request)
+                segments.release(response)
+        return results, len(pending), out_bytes, in_bytes, waits
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Shut down workers, then unlink every shared-memory segment.
+
+        Ordering matters: workers must exit (or be known dead) before
+        the segments they might map by name are unlinked.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -179,7 +288,10 @@ class PooledPrf:
     def __init__(self, inner: Prf, pool: WorkerPool) -> None:
         self._inner = inner
         self._pool = pool
-        self._material = (inner.__getstate__(),)
+        # Material carries the backend name so workers rebuild the same
+        # (byte-identical) kernel implementation the coordinator runs.
+        self._material = (b"prf", inner.backend_name.encode("ascii"),
+                         inner.__getstate__())
 
     @property
     def inner(self) -> Prf:
@@ -217,7 +329,8 @@ class PooledCipher:
         self._inner = inner
         self._pool = pool
         enc_key, mac_key, _ = inner.__getstate__()
-        self._material = (b"aead", enc_key, mac_key)
+        self._material = (b"aead", inner.backend_name.encode("ascii"),
+                         enc_key, mac_key)
 
     @property
     def inner(self) -> AuthenticatedCipher:
@@ -240,8 +353,9 @@ class PooledCipher:
         # cipher's rng: the proxy rng stream (and hence the adversary
         # trace) is draw-for-draw identical to inline execution.
         nonces = self._inner.draw_nonces(len(items))
-        frames = [nonce + plaintext
-                  for nonce, plaintext in zip(nonces, items)]
+        # (nonce, plaintext) part-tuples: the transport packs the pair
+        # contiguously, so no per-item concatenation happens here.
+        frames = list(zip(nonces, items))
         return self._pool.run("encrypt", self._material, frames)
 
     def decrypt_many(self, blobs: Sequence[bytes]) -> list[bytes]:

@@ -577,23 +577,36 @@ def parallel_round_config(n: int = 1024, seed: int = 23, b: int = 128,
 def bench_rounds_parallel(workers: int = 1, n: int = 1024, rounds: int = 12,
                           seed: int = 23, b: int = 128,
                           value_size: int = 4096,
-                          min_batch: int | None = None) -> dict:
+                          min_batch: int | None = None,
+                          backend: str | None = None,
+                          transport: str = "shm") -> dict:
     """Drive one proxy through ``rounds`` batches with ``workers`` workers.
 
     Returns wall-clock throughput plus the adversary-trace and response
     digests, so one sweep yields both the speedup curve and the
     byte-identity evidence.  ``workers=1`` runs fully inline (no pool) —
     the baseline every other worker count is compared against.
+
+    ``backend`` selects the crypto backend (byte-identical; the digests
+    prove it per run) and ``transport`` the chunk channel (``"shm"``
+    segments vs the legacy ``"pipe"``), so one sweep can label every
+    combination the speedup claims rest on.
     """
     from repro.parallel import WorkerPool, attach_pool
 
     config = parallel_round_config(n=n, seed=seed, b=b,
                                    value_size=value_size)
-    proxy = _build_proxy(config, KeyChain.from_seed(seed), record=True)
+    proxy = _build_proxy(config, KeyChain.from_seed(seed, backend=backend),
+                         record=True)
+    # What actually ran (a requested-but-absent backend falls back to
+    # pure); captured pre-attach since pooled wrappers hide the kernel.
+    backend_used: str = proxy.keychain.prf.backend_name
     pool = None
     if workers > 1:
-        pool = (WorkerPool(workers) if min_batch is None
-                else WorkerPool(workers, min_batch=min_batch))
+        pool = (WorkerPool(workers, transport=transport)
+                if min_batch is None
+                else WorkerPool(workers, min_batch=min_batch,
+                                transport=transport))
         attach_pool(proxy, pool)
     try:
         batches = _request_stream(config, rounds, seed)
@@ -608,6 +621,8 @@ def bench_rounds_parallel(workers: int = 1, n: int = 1024, rounds: int = 12,
             pool.close()
     return {
         "workers": workers,
+        "backend": backend_used,
+        "transport": transport if workers > 1 else "inline",
         "n": n,
         "b": config.b,
         "r": config.r,
@@ -643,6 +658,45 @@ def compare_parallel_traces(worker_counts: Sequence[int] = (1, 2, 4, 8),
                                for row in digests.values()
                                if isinstance(row, dict))
     return digests
+
+
+def compare_backend_traces(worker_counts: Sequence[int] = (1, 2, 4),
+                           backends: Sequence[str] | None = None,
+                           n: int = 256, rounds: int = 6, seed: int = 31,
+                           b: int = 32, value_size: int = 512) -> dict:
+    """Byte-identity oracle over the backend × worker matrix.
+
+    Every available crypto backend at every worker count must reproduce
+    the serial ``pure`` run's adversary trace and responses exactly —
+    the acceptance contract that makes both the backend and the pool
+    pure wall-clock knobs.  ``min_batch=1`` forces even the small
+    plan-phase batches across the process boundary.
+    """
+    from repro.crypto.backend import available_backend_names
+
+    if backends is None:
+        backends = available_backend_names()
+    reference = bench_rounds_parallel(
+        workers=1, n=n, rounds=rounds, seed=seed, b=b,
+        value_size=value_size, min_batch=1, backend="pure")
+    combos: dict = {}
+    identical = True
+    for backend in backends:
+        for workers in worker_counts:
+            row = bench_rounds_parallel(
+                workers=workers, n=n, rounds=rounds, seed=seed, b=b,
+                value_size=value_size, min_batch=1, backend=backend)
+            match = (row["trace"] == reference["trace"]
+                     and row["responses"] == reference["responses"])
+            combos[f"{backend}x{workers}"] = {
+                "backend": row["backend"], "workers": workers,
+                "trace": row["trace"], "responses": row["responses"],
+                "identical": match,
+            }
+            identical = identical and match
+    return {"reference": {"trace": reference["trace"],
+                          "responses": reference["responses"]},
+            "combos": combos, "identical": identical}
 
 
 def compare_shard_traces(partitions: int = 2, shard_workers: int = 2,
@@ -698,14 +752,22 @@ def compare_shard_traces(partitions: int = 2, shard_workers: int = 2,
 
 def run_parallel_benchmark(worker_counts: Sequence[int] = (1, 2, 4, 8),
                            n: int = 1024, rounds: int = 12,
-                           seed: int = 23) -> dict:
+                           seed: int = 23,
+                           backends: Sequence[str] | None = None) -> dict:
     """The full multi-core report consumed by ``benchmarks/bench_parallel.py``.
 
-    Sweeps ``worker_counts`` through :func:`bench_rounds_parallel`,
-    overlays the measured speedup curve on the :class:`PipelineModel`
-    prediction for the same round shape, and bundles the byte-identity
-    oracles (worker counts and shard-parallel partitions).
+    Sweeps ``worker_counts`` through :func:`bench_rounds_parallel` on
+    the default (shm) transport, overlays the measured speedup curve on
+    the :class:`PipelineModel` prediction for the same round shape,
+    re-measures the 2-worker point on the legacy pipe transport (the
+    regression this engine exists to fix), adds a backend-labelled run
+    per available crypto backend, and bundles the byte-identity oracles
+    (worker counts, backend × worker matrix, shard partitions).
+
+    ``backends`` restricts the backend matrix; ``None`` measures every
+    backend whose wheel imports (always at least ``pure``).
     """
+    from repro.crypto.backend import available_backend_names
     from repro.sim.costmodel import CostModel
     from repro.sim.pipeline import model_from_cost
 
@@ -727,20 +789,60 @@ def run_parallel_benchmark(worker_counts: Sequence[int] = (1, 2, 4, 8),
         for workers in worker_counts
     }
 
+    # The transport ablation: same 2-worker run through the PR-5 pickle
+    # pipe, so the report always shows what the shm segments bought.
+    transports = {}
+    ablation_workers = next((w for w in worker_counts if w > 1), None)
+    if ablation_workers is not None:
+        for transport in ("shm", "pipe"):
+            row = bench_rounds_parallel(
+                workers=ablation_workers, n=n, rounds=rounds, seed=seed,
+                transport=transport)
+            row["speedup"] = row["rounds_per_sec"] / base
+            transports[transport] = row
+
+    # Backend-labelled runs at the same shape (serial + one pooled
+    # point): wall-clock per backend, digests prove byte-identity.
+    if backends is None:
+        backends = available_backend_names()
+    backend_runs: dict = {}
+    for backend in backends:
+        serial = bench_rounds_parallel(workers=1, n=n, rounds=rounds,
+                                       seed=seed, backend=backend)
+        serial["speedup"] = serial["rounds_per_sec"] / base
+        backend_runs[backend] = {"1": serial}
+        if ablation_workers is not None:
+            pooled = bench_rounds_parallel(
+                workers=ablation_workers, n=n, rounds=rounds, seed=seed,
+                backend=backend)
+            pooled["speedup"] = pooled["rounds_per_sec"] / base
+            backend_runs[backend][str(ablation_workers)] = pooled
+
     reference = {"trace": measured[worker_counts[0]]["trace"],
                  "responses": measured[worker_counts[0]]["responses"]}
+
+    def _matches(row: dict) -> bool:
+        return (row["trace"] == reference["trace"]
+                and row["responses"] == reference["responses"])
+
     return {
-        "schema": "repro.parallel/1",
+        "schema": "repro.parallel/2",
         "cpu_count": os.cpu_count(),
         "config": {"n": config.n, "b": config.b, "r": config.r,
                    "f_d": config.f_d, "value_size": config.value_size,
                    "rounds": rounds},
         "measured": measured,
         "modeled_speedup": modeled,
-        "digests_identical": all(
-            row["trace"] == reference["trace"]
-            and row["responses"] == reference["responses"]
-            for row in measured.values()),
+        "transports": transports,
+        "backends": backend_runs,
+        "digests_identical": (
+            all(_matches(row) for row in measured.values())
+            and all(_matches(row) for row in transports.values())
+            and all(_matches(row) for runs in backend_runs.values()
+                    for row in runs.values())),
+        "backend_equivalence": compare_backend_traces(
+            worker_counts=tuple(w for w in worker_counts if w <= 4),
+            backends=backends),
         "shard_equivalence": compare_shard_traces(),
         "small_shape_equivalence": compare_parallel_traces(),
     }

@@ -1,0 +1,14 @@
+"""Known-bad fixture: native crypto import outside ``crypto/`` (OBL305).
+
+Native wheels are optional; only ``repro.crypto.backend`` may import
+them, so the availability probe, the graceful pure fallback, and the
+known-answer parity oracle always apply.
+"""
+
+from cryptography.hazmat.primitives import hashes
+
+
+def fingerprint(data: bytes) -> bytes:
+    digest = hashes.Hash(hashes.SHA256())
+    digest.update(data)
+    return digest.finalize()

@@ -47,7 +47,7 @@ class TestCli:
 
     def _parallel_report(self):
         return {
-            "schema": "repro.parallel/1",
+            "schema": "repro.parallel/2",
             "cpu_count": 4,
             "config": {"n": 64, "b": 8, "r": 3, "f_d": 1,
                        "value_size": 64, "rounds": 2},
@@ -58,7 +58,17 @@ class TestCli:
                     "speedup": 1.7},
             },
             "modeled_speedup": {1: 1.0, 2: 1.8},
+            "transports": {
+                "pipe": {"workers": 2, "rounds_per_sec": 12.0,
+                         "speedup": 1.2},
+                "shm": {"workers": 2, "rounds_per_sec": 17.0,
+                        "speedup": 1.7},
+            },
+            "backends": {
+                "pure": {"2": {"rounds_per_sec": 17.0, "speedup": 1.7}},
+            },
             "digests_identical": True,
+            "backend_equivalence": {"identical": True},
             "shard_equivalence": {"identical": True},
             "small_shape_equivalence": {"identical": True},
         }
@@ -79,11 +89,15 @@ class TestCli:
                      "--n", "64", "--rounds", "2",
                      "--out", str(out_path)]) == 0
         out = capsys.readouterr().out
-        assert seen == {"worker_counts": (1, 2), "n": 64, "rounds": 2}
+        assert seen == {"worker_counts": (1, 2), "n": 64, "rounds": 2,
+                        "backends": None}
         assert "workers=2" in out
+        assert "transport=shm" in out
+        assert "backend=pure" in out
         assert "digests_identical=True" in out
+        assert "backend_matrix_identical=True" in out
         assert json.loads(out_path.read_text())["schema"] == \
-            "repro.parallel/1"
+            "repro.parallel/2"
 
     def test_bench_wallclock_path(self, capsys, monkeypatch):
         import repro.sim.perf as perf

@@ -1,0 +1,260 @@
+"""Cross-backend parity: every crypto backend is byte-identical to pure.
+
+The backend registry (:mod:`repro.crypto.backend`) promises that the
+``nacl`` and ``openssl`` backends compute the *same scheme* as the pure
+reference — same storage ids, same ciphertext layout, same tag-failure
+behaviour — so a backend swap can never perturb the adversary-visible
+trace or strand outsourced ciphertexts.  These tests hold each native
+backend to the pure oracle byte for byte, and pin the registry's
+resolution/fallback contract.
+
+Native backends are exercised only where their wheel imports (the CI
+``native-crypto`` job installs both); on a bare interpreter every
+parity test skips with the wheel's import error as the reason.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import warnings
+
+import pytest
+
+from repro.crypto.aead import AuthenticatedCipher
+from repro.crypto.backend import (
+    AUTO_BACKEND,
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    CryptoBackend,
+    available_backend_names,
+    backend_names,
+    get_backend,
+    make_cipher,
+    make_prf,
+    resolve_backend_name,
+)
+from repro.crypto.keys import KeyChain
+from repro.crypto.prf import Prf
+from repro.errors import ConfigurationError, IntegrityError
+
+NATIVE_NAMES = tuple(n for n in backend_names() if n != "pure")
+
+#: Secrets spanning the HMAC block-size edge cases: shorter than the
+#: 64-byte SHA-256 block (padded), exactly one block, and longer (hashed
+#: down first) — the three branches of RFC 2104 key preparation.
+SECRETS = [
+    b"k",
+    b"short-secret",
+    b"x" * 64,
+    b"y" * 65,
+    bytes(range(256)),
+]
+
+
+def native(name: str) -> CryptoBackend:
+    """The backend for ``name``, or skip with its import failure."""
+    try:
+        return get_backend(name, strict=True)
+    except ConfigurationError as error:
+        pytest.skip(str(error))
+
+
+@pytest.fixture(params=NATIVE_NAMES)
+def backend(request) -> CryptoBackend:
+    return native(request.param)
+
+
+class TestPrfParity:
+    def test_derive_matches_pure(self, backend):
+        for secret in SECRETS:
+            ours = backend.make_prf(secret)
+            oracle = Prf(secret)
+            for key, ts in [("user00000001", 0), ("user00000001", 12345),
+                            ("k", 7), ("", 0), ("k1", 2), ("k12", 2)]:
+                assert ours.derive(key, ts) == oracle.derive(key, ts), \
+                    (backend.name, secret, key, ts)
+
+    def test_derive_many_matches_scalar_and_pure(self, backend):
+        prf = backend.make_prf(b"parity-secret")
+        oracle = Prf(b"parity-secret")
+        pairs = [(f"key{i:04d}", i * 17) for i in range(64)]
+        batch = prf.derive_many(pairs)
+        assert batch == oracle.derive_many(pairs)
+        assert batch == [prf.derive(k, t) for k, t in pairs]
+
+    def test_derive_bytes_matches_pure(self, backend):
+        for secret in SECRETS:
+            ours = backend.make_prf(secret)
+            oracle = Prf(secret)
+            for data in (b"", b"subkey", b"\x00" * 100):
+                assert ours.derive_bytes(data) == oracle.derive_bytes(data)
+
+    def test_known_answer(self, backend):
+        # Same literal vector test_crypto_known_answers.py pins for pure.
+        prf = backend.make_prf(b"known-answer-secret")
+        assert prf.derive("user00000001", 0) == \
+            "15837b7ce3ddd5e6b367bd71710e10c0"
+
+    def test_backend_name_labels_kernel(self, backend):
+        assert backend.make_prf(b"s").backend_name == backend.name
+
+    def test_pickle_round_trip(self, backend):
+        prf = backend.make_prf(b"pickle-secret")
+        clone = pickle.loads(pickle.dumps(prf))
+        assert clone.derive("k", 9) == prf.derive("k", 9)
+        # On this interpreter the wheel is present, so the round trip
+        # restores the same backend (on a wheel-less box it would fall
+        # back to the byte-identical pure kernel instead).
+        assert clone.backend_name == backend.name
+
+
+class TestCipherParity:
+    ENC_KEY = b"enc-key-for-parity-tests"
+    MAC_KEY = b"mac-key-for-parity-tests"
+    PLAINTEXTS = [b"", b"v", b"value" * 7, b"\x00" * 32, bytes(range(200))]
+
+    def _pair(self, backend, seed=1234):
+        ours = backend.make_cipher(self.ENC_KEY, self.MAC_KEY,
+                                   rng=random.Random(seed))
+        oracle = AuthenticatedCipher(self.ENC_KEY, self.MAC_KEY,
+                                     rng=random.Random(seed))
+        return ours, oracle
+
+    def test_ciphertexts_identical_under_fixed_rng(self, backend):
+        ours, oracle = self._pair(backend)
+        for plaintext in self.PLAINTEXTS:
+            assert ours.encrypt(plaintext) == oracle.encrypt(plaintext)
+
+    def test_encrypt_many_identical_under_fixed_rng(self, backend):
+        ours, oracle = self._pair(backend, seed=77)
+        assert ours.encrypt_many(self.PLAINTEXTS) == \
+            oracle.encrypt_many(self.PLAINTEXTS)
+
+    def test_encrypt_with_fixed_nonces_identical(self, backend):
+        ours, oracle = self._pair(backend)
+        nonces = [bytes([i]) * 16 for i in range(len(self.PLAINTEXTS))]
+        assert ours.encrypt_with_nonces(self.PLAINTEXTS, nonces) == \
+            oracle.encrypt_with_nonces(self.PLAINTEXTS, nonces)
+
+    def test_cross_decrypt(self, backend):
+        """Pure decrypts native output and vice versa — stored values
+        survive a backend change in either direction."""
+        ours, oracle = self._pair(backend)
+        for plaintext in self.PLAINTEXTS:
+            assert oracle.decrypt(ours.encrypt(plaintext)) == plaintext
+            assert ours.decrypt(oracle.encrypt(plaintext)) == plaintext
+
+    def test_tamper_raises_same_error(self, backend):
+        ours, oracle = self._pair(backend)
+        blob = bytearray(oracle.encrypt(b"tamper-me"))
+        blob[20] ^= 0x01
+        with pytest.raises(IntegrityError):
+            ours.decrypt(bytes(blob))
+        with pytest.raises(IntegrityError):
+            ours.decrypt(b"too-short")
+
+    def test_decrypt_many_tamper_raises(self, backend):
+        ours, oracle = self._pair(backend)
+        blobs = oracle.encrypt_many([b"a", b"b"])
+        tampered = blobs[1][:-1] + bytes([blobs[1][-1] ^ 1])
+        with pytest.raises(IntegrityError):
+            ours.decrypt_many([blobs[0], tampered])
+
+    def test_overhead_matches(self, backend):
+        ours, _ = self._pair(backend)
+        assert ours.ciphertext_overhead() == 48
+
+    def test_pickle_round_trip_keeps_rng_stream(self, backend):
+        ours, oracle = self._pair(backend, seed=5)
+        clone = pickle.loads(pickle.dumps(ours))
+        # The restored cipher resumes the same nonce source object, so
+        # the next encryption still tracks the oracle draw-for-draw.
+        assert clone.encrypt(b"after-pickle") == oracle.encrypt(b"after-pickle")
+        assert clone.backend_name == backend.name
+
+
+class TestKeyChainWiring:
+    def test_keychain_uses_requested_backend(self, backend):
+        chain = KeyChain.from_seed(42, backend=backend.name)
+        assert chain.prf.backend_name == backend.name
+        assert chain.cipher.backend_name == backend.name
+
+    def test_keychain_outputs_identical_to_pure(self, backend):
+        ours = KeyChain.from_seed(42, rng=random.Random(1),
+                                  backend=backend.name)
+        oracle = KeyChain.from_seed(42, rng=random.Random(1), backend="pure")
+        assert ours.prf.derive("k", 7) == oracle.prf.derive("k", 7) == \
+            "2aafb921b688174b8980ee288bb9fd3f"
+        assert ours.cipher.encrypt(b"fixed") == oracle.cipher.encrypt(b"fixed")
+
+
+class TestRegistry:
+    def test_names(self):
+        assert backend_names() == ("pure", "nacl", "openssl")
+        assert DEFAULT_BACKEND in available_backend_names()
+
+    def test_resolve_default_and_explicit(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_backend_name() == DEFAULT_BACKEND
+        assert resolve_backend_name("pure") == "pure"
+        assert resolve_backend_name("  OpenSSL ") == "openssl"
+
+    def test_resolve_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "openssl")
+        assert resolve_backend_name() == "openssl"
+        # An explicit argument wins over the environment.
+        assert resolve_backend_name("pure") == "pure"
+        monkeypatch.setenv(ENV_VAR, "")
+        assert resolve_backend_name() == DEFAULT_BACKEND
+
+    def test_resolve_auto_prefers_native(self):
+        resolved = resolve_backend_name(AUTO_BACKEND)
+        assert resolved in available_backend_names()
+        for candidate in ("openssl", "nacl", "pure"):
+            if candidate in available_backend_names():
+                assert resolved == candidate
+                break
+
+    def test_unknown_name_raises(self, monkeypatch):
+        with pytest.raises(ConfigurationError, match="unknown crypto backend"):
+            resolve_backend_name("bogus")
+        monkeypatch.setenv(ENV_VAR, "sha1-on-a-napkin")
+        with pytest.raises(ConfigurationError):
+            get_backend()
+
+    def test_missing_wheel_falls_back_with_warning(self, monkeypatch):
+        import repro.crypto.backend as mod
+
+        absent = CryptoBackend("nacl", False, "simulated: no wheel",
+                               None, None)
+        monkeypatch.setitem(mod._REGISTRY, "nacl", absent)
+        monkeypatch.setattr(mod, "_WARNED", set())
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = get_backend("nacl")
+        assert backend.name == DEFAULT_BACKEND
+        # The warning fires once per backend, not once per lookup.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_backend("nacl").name == DEFAULT_BACKEND
+
+    def test_missing_wheel_strict_raises(self, monkeypatch):
+        import repro.crypto.backend as mod
+
+        absent = CryptoBackend("openssl", False, "simulated: no wheel",
+                               None, None)
+        monkeypatch.setitem(mod._REGISTRY, "openssl", absent)
+        with pytest.raises(ConfigurationError, match="unavailable"):
+            get_backend("openssl", strict=True)
+        with pytest.raises(ConfigurationError, match="unavailable"):
+            absent.make_prf(b"s")
+        with pytest.raises(ConfigurationError, match="unavailable"):
+            absent.make_cipher(b"e", b"m")
+
+    def test_module_factories_build_labelled_kernels(self):
+        prf = make_prf("pure", b"s")
+        assert isinstance(prf, Prf) and prf.backend_name == "pure"
+        source = random.Random(3)
+        cipher = make_cipher("pure", b"e", b"m", randbytes=source.randbytes)
+        oracle = AuthenticatedCipher(b"e", b"m", rng=random.Random(3))
+        assert cipher.encrypt(b"v") == oracle.encrypt(b"v")
