@@ -240,10 +240,15 @@ class WaffleProxy:
         # Observability: phase boundaries are perf_counter readings taken
         # only when enabled; the disabled path costs one branch per phase
         # (the zero-cost contract pinned by tests/test_obs_overhead.py).
+        # Phases form a span tree under the round: open_span(root=True)
+        # resets the thread's span stack, so a chaos-injected mid-round
+        # exception cannot corrupt the parentage of later rounds.
         obs = OBS
         observing = obs.enabled
         if observing:
             _pc = time.perf_counter
+            _round_tok = obs.open_span("round", root=True)
+            _tok = obs.open_span("phase.plan")
             _t0 = _pc()
 
         cli_resp: dict[int, bytes] = {}
@@ -402,8 +407,9 @@ class WaffleProxy:
         stats.fake_real_reads = f_r
         if observing:
             _t1 = _pc()
-            obs.observe_span("phase.plan", _t1 - _t0,
-                             labels={"system": "waffle"}, round=self.ts)
+            obs.close_span(_tok, _t1 - _t0,
+                           labels={"system": "waffle"}, round=self.ts)
+            _tok = obs.open_span("phase.server_io")
 
         # One pipelined read of B ids.  Their deletion (read-once ids) is
         # deferred into the end-of-round commit_round so that a crash
@@ -417,9 +423,10 @@ class WaffleProxy:
         stats.server_deletes = len(sids)
         if observing:
             _t2 = _pc()
-            obs.observe_span("phase.server_io", _t2 - _t1,
-                             labels={"system": "waffle", "dir": "read"},
-                             round=self.ts, ids=len(sids))
+            obs.close_span(_tok, _t2 - _t1,
+                           labels={"system": "waffle", "dir": "read"},
+                           round=self.ts, ids=len(sids))
+            _tok = obs.open_span("phase.decrypt")
 
         # -------------------- write phase --------------------
         # "The algorithm first evicts an object from the cache before
@@ -459,9 +466,10 @@ class WaffleProxy:
         stats.decryptions += len(real_positions)
         if observing:
             _t3 = _pc()
-            obs.observe_span("phase.decrypt", _t3 - _t2,
-                             labels={"system": "waffle"}, round=self.ts,
-                             values=len(real_positions))
+            obs.close_span(_tok, _t3 - _t2,
+                           labels={"system": "waffle"}, round=self.ts,
+                           values=len(real_positions))
+            _tok = obs.open_span("phase.cache")
 
         for pos, sid in enumerate(sids):
             key = read_batch[sid]
@@ -504,15 +512,17 @@ class WaffleProxy:
         )
         if observing:
             _t4 = _pc()
-            obs.observe_span("phase.cache", _t4 - _t3,
-                             labels={"system": "waffle"}, round=self.ts)
+            obs.close_span(_tok, _t4 - _t3,
+                           labels={"system": "waffle"}, round=self.ts)
+            _tok = obs.open_span("phase.evict")
         # Drain the write-miss overage (the C + R transient) back to C.
         while self.cache.over_capacity():
             evict_one()
         if observing:
             _t5 = _pc()
-            obs.observe_span("phase.evict", _t5 - _t4,
-                             labels={"system": "waffle"}, round=self.ts)
+            obs.close_span(_tok, _t5 - _t4,
+                           labels={"system": "waffle"}, round=self.ts)
+            _tok = obs.open_span("phase.derive")
 
         write_ids, ciphertexts = self.keychain.seal_many(
             [(key, ts) for key, ts, _ in write_plan],
@@ -524,17 +534,18 @@ class WaffleProxy:
         write_batch = list(zip(write_ids, ciphertexts))
         if observing:
             _t6 = _pc()
-            obs.observe_span("phase.derive", _t6 - _t5,
-                             labels={"system": "waffle"}, round=self.ts,
-                             writes=len(write_batch))
+            obs.close_span(_tok, _t6 - _t5,
+                           labels={"system": "waffle"}, round=self.ts,
+                           writes=len(write_batch))
+            _tok = obs.open_span("phase.server_io")
         self.store.commit_round(sids, write_batch)
         stats.server_writes = len(write_batch)
         dummy_index.end_round(self.ts)
         if observing:
             _t7 = _pc()
-            obs.observe_span("phase.server_io", _t7 - _t6,
-                             labels={"system": "waffle", "dir": "write"},
-                             round=self.ts, ids=len(write_batch))
+            obs.close_span(_tok, _t7 - _t6,
+                           labels={"system": "waffle", "dir": "write"},
+                           round=self.ts, ids=len(write_batch))
 
         # -------------------- bookkeeping --------------------
         totals = self.totals
@@ -559,12 +570,12 @@ class WaffleProxy:
             reg.counter("batch.fake_real.total", **labels).inc(stats.fake_real_reads)
             reg.counter("batch.fake_dummy.total", **labels).inc(stats.fake_dummy_reads)
             reg.gauge("cache.size", **labels).set(len(self.cache))
-            obs.observe_span("round", _pc() - _t0, labels=labels,
-                             round=self.ts, requests=stats.requests,
-                             real=stats.unique_real_reads,
-                             fake_real=stats.fake_real_reads,
-                             fake_dummy=stats.fake_dummy_reads,
-                             cache_hits=stats.cache_hits)
+            obs.close_span(_round_tok, _pc() - _t0, labels=labels,
+                           round=self.ts, requests=stats.requests,
+                           real=stats.unique_real_reads,
+                           fake_real=stats.fake_real_reads,
+                           fake_dummy=stats.fake_dummy_reads,
+                           cache_hits=stats.cache_hits)
 
         return [
             ClientResponse(request_id=request.request_id, key=request.key,

@@ -17,7 +17,7 @@ OBL004   stray editor/merge artifact (*.tmp, *.orig, ...) in the tree
 OBL101   plaintext key/value reaches a server-storage call
 OBL102   plaintext key/value reaches a trace/log emission
 OBL103   key-dependent branch guards server I/O
-OBL201   wall-clock read (time.time, datetime.now, ...)
+OBL201   wall-clock / raw monotonic read; obs.clock() outside obs,analysis
 OBL202   unseeded random.Random() / stray SystemRandom
 OBL203   module-level random.* call (shared global RNG)
 OBL204   os.urandom outside crypto/

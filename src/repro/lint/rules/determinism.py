@@ -33,6 +33,20 @@ _WALLCLOCK = {
     "datetime.date.today": "date.today() reads the wall clock",
 }
 
+#: Raw monotonic reads: not wall-clock, but still host time — protocol
+#: code that branches on them stops replaying.  The one sanctioned
+#: funnel is ``repro.obs.clock()``, itself allowed only where timestamps
+#: are observation, not protocol input.
+_MONOTONIC = {
+    "time.monotonic": "time.monotonic() reads host time",
+    "time.monotonic_ns": "time.monotonic_ns() reads host time",
+}
+
+#: Where the sanctioned ``repro.obs.clock`` funnel may be called: the
+#: observability layer itself and the analysis observers that timestamp
+#: adversary-visible instants (the timing-leakage observatory).
+_CLOCK_OK = ("repro/obs/", "repro/analysis/")
+
 #: Constructors/attributes on ``random`` that are fine when seeded.
 _RNG_CLASSES = {"Random", "SystemRandom"}
 
@@ -40,9 +54,11 @@ _RNG_CLASSES = {"Random", "SystemRandom"}
 class WallClockRule(Rule):
     id = "OBL201"
     name = "wallclock"
-    description = ("wall-clock reads (time.time, datetime.now, ...) break "
-                   "chaos replay; use the sim clock or time.perf_counter "
-                   "for local measurement only")
+    description = ("wall-clock and raw monotonic reads (time.time, "
+                   "datetime.now, time.monotonic, ...) break chaos replay; "
+                   "use the sim clock, time.perf_counter for local "
+                   "measurement, or obs.clock() (obs/ and analysis/ only) "
+                   "for observation timestamps")
 
     def check(self, module: Module) -> Iterator[Finding]:
         imports = ImportMap(module.tree)
@@ -55,6 +71,22 @@ class WallClockRule(Rule):
                     self, node,
                     f"{_WALLCLOCK[resolved]}; replay is no longer "
                     "deterministic — route through the sim clock")
+            elif resolved in _MONOTONIC:
+                # obs/ implements the sanctioned funnel, so the raw read
+                # is allowed there and nowhere else.
+                if not module.relpath.startswith("repro/obs/"):
+                    yield module.finding(
+                        self, node,
+                        f"{_MONOTONIC[resolved]}; observation timestamps "
+                        "go through repro.obs.clock(), protocol time "
+                        "through the sim clock")
+            elif resolved == "repro.obs.clock":
+                if not module.relpath.startswith(_CLOCK_OK):
+                    yield module.finding(
+                        self, node,
+                        "obs.clock() is sanctioned only inside obs/ and "
+                        "analysis/ (observation timestamps); protocol "
+                        "code must use the sim clock")
 
 
 class UnseededRngRule(Rule):

@@ -44,25 +44,52 @@ Usage::
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    SUB_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "OBS",
     "Observability",
+    "SUB_MS_BUCKETS",
     "Span",
     "Tracer",
     "capture",
+    "clock",
     "disable",
     "enable",
 ]
+
+
+def clock() -> float:
+    """The sanctioned monotonic timestamp source for observability.
+
+    Observers that need *timestamps* (not durations) — the timing-
+    leakage observatory in :mod:`repro.analysis.timing` stamps round
+    release instants — read this instead of ``time.monotonic`` directly.
+    Funneling every monotonic read through one helper keeps the
+    determinism audit tractable: oblint's OBL201 pass bans raw
+    ``time.monotonic`` everywhere outside ``obs/`` and allows
+    ``obs.clock()`` only inside ``obs/`` and ``analysis/``, so protocol
+    code can never grow a hidden dependence on real time (chaos replay
+    would silently stop being deterministic).
+    """
+    return time.monotonic()
 
 
 class Observability:
@@ -107,6 +134,29 @@ class Observability:
         labels = labels or {}
         self.registry.histogram(name + ".seconds", **labels).observe(seconds)
         self.tracer.record_span(name, seconds, **labels, **attrs)
+
+    def open_span(self, name: str, root: bool = False) -> int:
+        """Open a region of the span tree (callers guard on ``enabled``).
+
+        Returns the token :meth:`close_span` takes.  ``root=True`` marks
+        a round boundary: the thread's stack resets so spans orphaned by
+        a mid-round exception cannot corrupt later rounds' parentage.
+        """
+        return self.tracer.open_span(name, root=root)
+
+    def close_span(self, token: int, seconds: float,
+                   labels: dict | None = None, **attrs) -> None:
+        """Close an open region into *both* pillars.
+
+        The stack-structured sibling of :meth:`observe_span`: the span
+        record is emitted with its tree position (``span_id``/``parent``)
+        and the duration lands in the ``<name>.seconds`` histogram under
+        ``labels``, so per-phase percentiles and the profile tree stay
+        derived from one pair of ``perf_counter`` readings.
+        """
+        labels = labels or {}
+        name = self.tracer.close_span(token, seconds, **labels, **attrs)
+        self.registry.histogram(name + ".seconds", **labels).observe(seconds)
 
     def observe_kernel(self, kernel: str, seconds: float, items: int) -> None:
         """Profiling hook for the batched kernels (PR 1 fast path).

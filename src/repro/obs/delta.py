@@ -1,0 +1,137 @@
+"""Cross-process telemetry deltas: worker-side buffer, wire codec, merge.
+
+The pool workers run with observability forced off (their registries are
+invisible fork copies and they must not share the coordinator's trace
+file descriptor — see ``repro.parallel.worker.init_worker``).  What they
+*can* do is accumulate metric and span deltas in a plain local
+:class:`TelemetryBuffer` — single-threaded per process, so "lock-free"
+is literal: dict and list operations, no synchronization — and ship the
+drained delta back piggybacked on the chunk response as one extra frame.
+The coordinator (the only process with a live registry and tracer)
+merges each delta under ``worker``-labelled metric names and hangs the
+worker-side spans under the coordinator-side chunk span, so the span
+tree crosses the process boundary:
+``round -> phase.* -> parallel.chunk -> parallel.worker.chunk``.
+
+Contract notes:
+
+* **Zero-cost when disabled** — the coordinator passes a per-chunk
+  telemetry flag derived from ``OBS.enabled`` at dispatch time; with it
+  off, workers never touch the buffer and responses carry no extra
+  frame.
+* **Trace neutrality** — deltas ride existing response frames (no new
+  server accesses, no rng draws); merged histograms use the fixed
+  :data:`~repro.obs.registry.SUB_MS_BUCKETS` bounds, so merging draws no
+  reservoir randomness either.
+* **Exactly-once merge** — :meth:`TelemetryBuffer.drain` resets the
+  buffer, so every observation ships in exactly one delta; the
+  coordinator merges only deltas returned by successful futures, so a
+  killed worker's in-flight delta is lost, never double-counted.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.registry import SUB_MS_BUCKETS, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["TelemetryBuffer", "decode_delta", "encode_delta", "merge_delta"]
+
+
+def _key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+class TelemetryBuffer:
+    """Per-process accumulator for metric and span deltas.
+
+    Workers are single-threaded, so every method is plain dict/list
+    arithmetic.  The buffer never touches the process-wide ``OBS``
+    handle — a forked worker can force its inherited handle off and
+    still record here.
+    """
+
+    __slots__ = ("counters", "observations", "spans")
+
+    def __init__(self) -> None:
+        #: (name, label items) -> accumulated increment
+        self.counters: dict[tuple, float] = {}
+        #: (name, label items) -> raw observed values (histogram feed)
+        self.observations: dict[tuple, list[float]] = {}
+        #: (name, seconds, attrs) completed spans, in completion order
+        self.spans: list[tuple[str, float, dict]] = []
+
+    def inc(self, name: str, n: float = 1, **labels) -> None:
+        key = _key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.observations.setdefault(_key(name, labels), []).append(value)
+
+    def span(self, name: str, seconds: float, **attrs) -> None:
+        self.spans.append((name, seconds, attrs))
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.observations or self.spans)
+
+    def clear(self) -> None:
+        self.counters = {}
+        self.observations = {}
+        self.spans = []
+
+    def drain(self) -> dict:
+        """Snapshot the buffered deltas and reset the buffer.
+
+        The reset is what makes merges pure increments: a delta lost in
+        transit (worker killed mid-chunk) simply never lands, and a
+        delta that lands cannot land twice.
+        """
+        delta = {
+            "counters": [[name, dict(labels), value]
+                         for (name, labels), value in self.counters.items()],
+            "observations": [[name, dict(labels), values]
+                             for (name, labels), values
+                             in self.observations.items()],
+            "spans": [[name, seconds, attrs]
+                      for name, seconds, attrs in self.spans],
+        }
+        self.clear()
+        return delta
+
+
+def encode_delta(delta: dict, worker_id: str) -> bytes:
+    """Serialize a drained delta as one compact piggyback frame."""
+    delta["worker"] = worker_id
+    return json.dumps(delta, separators=(",", ":")).encode("utf-8")
+
+
+def decode_delta(frame) -> dict:
+    """Inverse of :func:`encode_delta` (accepts bytes or a memoryview)."""
+    return json.loads(bytes(frame).decode("utf-8"))
+
+
+def merge_delta(registry: MetricsRegistry, tracer: Tracer, delta: dict,
+                parent: int | None = None) -> None:
+    """Fold one worker delta into the coordinator's registry and tracer.
+
+    Every metric gains a ``worker=<id>`` label so per-worker skew stays
+    visible after the merge; observation streams land in fixed
+    ``SUB_MS_BUCKETS`` histograms (worker chunks live in the µs-to-ms
+    range the default buckets cannot resolve).  Worker spans are
+    re-emitted on the coordinator's tracer with ``parent`` — the
+    coordinator-side ``parallel.chunk`` span — so the profile tree spans
+    the process boundary.
+    """
+    worker = str(delta.get("worker", "?"))
+    for name, labels, value in delta.get("counters", ()):
+        registry.counter(name, worker=worker, **labels).inc(value)
+    for name, labels, values in delta.get("observations", ()):
+        hist = registry.histogram(name, mode="buckets",
+                                  buckets=SUB_MS_BUCKETS,
+                                  worker=worker, **labels)
+        for value in values:
+            hist.observe(value)
+    for name, seconds, attrs in delta.get("spans", ()):
+        tracer.record_span(name, seconds, parent=parent, worker=worker,
+                           **attrs)

@@ -11,10 +11,10 @@ the registry keeps the dotted internal names.
 
 from __future__ import annotations
 
-import json
 import math
 
 from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import jsonl_line
 
 __all__ = ["emit_text", "render_prometheus", "write_prometheus",
            "write_trace_jsonl"]
@@ -119,10 +119,16 @@ def write_trace_jsonl(records, path) -> int:
     Used for post-hoc export of an in-memory tracer buffer; live
     streaming is handled by ``Tracer(path=...)``.  Returns the number of
     records written.
+
+    Non-finite floats (a zero-width throughput window observes ``inf``)
+    are encoded as ``"+Inf"``/``"-Inf"``/``"NaN"`` strings via
+    :func:`repro.obs.trace.jsonl_line` — ``json.dumps`` alone would emit
+    bare ``Infinity``, which is not JSON and breaks line-by-line
+    ``json.loads`` consumers.
     """
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
-            handle.write(json.dumps(record, default=str) + "\n")
+            handle.write(jsonl_line(record) + "\n")
             count += 1
     return count

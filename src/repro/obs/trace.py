@@ -6,6 +6,18 @@ visible storage access, a fail-over).  Both carry free-form attributes
 and serialize to one JSON object per line, so a trace file replays with
 ``json.loads`` per line and nothing else.
 
+Spans form a **tree**: every span record carries a process-unique
+``span_id`` and the ``parent`` id of the span that was open on the same
+thread when it completed (``None`` at the root).  Sequential hot paths
+open a region with :meth:`Tracer.open_span`, which pushes it on a
+per-thread stack, and close it with :meth:`Tracer.close_span`;
+:meth:`Tracer.record_span` (the one-shot form) parents itself under the
+innermost open span automatically.  The round engine uses this to nest
+``round -> phase.* -> parallel.chunk -> parallel.worker.chunk``, which
+:mod:`repro.obs.profile` re-assembles into a flamegraph-style report.
+The stack is thread-local because pipelined execution overlaps rounds
+across threads.
+
 The tracer buffers records in memory (bounded), optionally streams them
 to a JSONL file, and fans every record out to registered subscribers —
 that last hook is how the live :class:`~repro.analysis.monitor.AlphaMonitor`
@@ -22,13 +34,43 @@ on the adversary-visible channel (enforced by
 from __future__ import annotations
 
 import json
+import math
+import threading
 import time
 
-__all__ = ["NULL_SPAN", "Span", "Tracer"]
+__all__ = ["NULL_SPAN", "Span", "Tracer", "jsonl_line"]
 
 #: Default in-memory record cap; oldest records are dropped beyond it so
 #: week-long runs cannot exhaust memory (file sinks keep everything).
 _DEFAULT_MAX_RECORDS = 200_000
+
+
+def _jsonable(value):
+    """Replace non-finite floats with their string spellings, recursively.
+
+    ``json.dumps`` emits bare ``Infinity``/``NaN`` for non-finite floats
+    — tokens no JSON parser is required to accept, so a single
+    zero-width-window ``inf`` from the throughput meter would poison a
+    whole trace file.  The exporters encode them as ``"+Inf"``,
+    ``"-Inf"`` and ``"NaN"`` strings instead (matching the Prometheus
+    text spelling), keeping every line ``json.loads``-clean.
+    """
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return value
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def jsonl_line(record: dict) -> str:
+    """Serialize one trace record as a strictly-valid JSON line."""
+    return json.dumps(_jsonable(record), default=str, allow_nan=False)
 
 
 class _NullSpan:
@@ -99,7 +141,8 @@ class Tracer:
     """
 
     __slots__ = ("records", "dropped", "_path", "_file", "_subscribers",
-                 "_buffer", "_max_records", "_seq")
+                 "_buffer", "_max_records", "_seq", "_next_span_id",
+                 "_local")
 
     def __init__(self, path=None, buffer: bool = True,
                  max_records: int = _DEFAULT_MAX_RECORDS) -> None:
@@ -111,6 +154,8 @@ class Tracer:
         self._buffer = buffer
         self._max_records = max_records
         self._seq = 0
+        self._next_span_id = 1
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # emission
@@ -125,18 +170,74 @@ class Tracer:
                 self.dropped += len(self.records) - keep
                 self.records = self.records[-keep:]
         if self._file is not None:
-            self._file.write(json.dumps(record, default=str) + "\n")
+            self._file.write(jsonl_line(record) + "\n")
         for subscriber in self._subscribers:
             subscriber(record)
 
-    def record_span(self, name: str, seconds: float, **attrs) -> None:
-        """Emit a completed span with an explicit duration.
+    def _stack(self) -> list:
+        """This thread's open-span stack of ``(span_id, name)`` pairs."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _alloc_span_id(self) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return span_id
+
+    def open_span(self, name: str, root: bool = False) -> int:
+        """Open a nested region; returns a token for :meth:`close_span`.
+
+        Nothing is emitted until the span closes — only the (thread-
+        local) stack is touched, so an open region costs one append.
+        ``root=True`` clears this thread's stack first: round engines use
+        it at round entry so a span left open by a mid-round exception
+        (chaos fault injection) cannot corrupt later rounds' parentage.
+        """
+        stack = self._stack()
+        if root:
+            stack.clear()
+        span_id = self._alloc_span_id()
+        stack.append((span_id, name))
+        return span_id
+
+    def close_span(self, token: int, seconds: float, **attrs) -> str:
+        """Close an open region and emit its record; returns its name.
+
+        Pops the stack down to (and including) ``token``, tolerating
+        spans orphaned by exceptions; the record's ``parent`` is the
+        span left innermost, ``None`` at the root.
+        """
+        stack = self._stack()
+        name = ""
+        while stack:
+            span_id, span_name = stack.pop()
+            if span_id == token:
+                name = span_name
+                break
+        parent = stack[-1][0] if stack else None
+        self.emit({"kind": "span", "name": name, "dur": seconds,
+                   "span_id": token, "parent": parent, "attrs": attrs})
+        return name
+
+    def record_span(self, name: str, seconds: float,
+                    parent: int | None = None, **attrs) -> int:
+        """Emit a completed span with an explicit duration; returns its id.
 
         Hot paths that already hold ``perf_counter`` boundaries use this
-        directly and skip the context-manager object entirely.
+        directly and skip the context-manager object entirely.  The span
+        parents under this thread's innermost open span unless ``parent``
+        names one explicitly (the engine uses that to hang worker-side
+        chunk spans under the coordinator-side chunk span).
         """
+        span_id = self._alloc_span_id()
+        if parent is None:
+            stack = self._stack()
+            parent = stack[-1][0] if stack else None
         self.emit({"kind": "span", "name": name, "dur": seconds,
-                   "attrs": attrs})
+                   "span_id": span_id, "parent": parent, "attrs": attrs})
+        return span_id
 
     def event(self, name: str, **attrs) -> None:
         self.emit({"kind": "event", "name": name, "attrs": attrs})

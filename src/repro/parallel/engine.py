@@ -47,8 +47,10 @@ from repro.crypto.aead import AuthenticatedCipher
 from repro.crypto.keys import KeyChain
 from repro.crypto.prf import Prf
 from repro.obs import OBS
+from repro.obs.delta import decode_delta, merge_delta
 from repro.parallel.shm import SegmentPool
 from repro.parallel.worker import (
+    TELEMETRY_ALLOWANCE,
     init_worker,
     iter_frames,
     pack_frames,
@@ -156,18 +158,30 @@ class WorkerPool:
         if observing:
             start = time.perf_counter()
         if self._segments is not None:
-            results, n_chunks, out_bytes, in_bytes, waits = self._run_shm(
+            results, out_bytes, in_bytes, chunk_meta = self._run_shm(
                 kind, material, frames, per_chunk, observing)
         else:
-            results, n_chunks, out_bytes, in_bytes, waits = self._run_pipe(
+            results, out_bytes, in_bytes, chunk_meta = self._run_pipe(
                 kind, material, frames, per_chunk, observing)
         if observing:
             labels = {"workers": str(self.workers)}
             reg = OBS.registry
+            tracer = OBS.tracer
             wait_hist = reg.histogram("parallel.chunk.wait.seconds", **labels)
-            for elapsed in waits:
+            # Each chunk becomes a span under the currently open phase
+            # (implicit parent via the tracer's span stack); the worker's
+            # piggybacked delta — metrics plus its own chunk span — then
+            # merges under that span's id, extending the tree across the
+            # process boundary.
+            for elapsed, chunk_items, delta in chunk_meta:
                 wait_hist.observe(elapsed)
-            reg.counter("parallel.chunks.total", **labels).inc(n_chunks)
+                span_id = tracer.record_span("parallel.chunk", elapsed,
+                                             kind=kind, items=chunk_items,
+                                             **labels)
+                if delta is not None:
+                    merge_delta(reg, tracer, decode_delta(delta),
+                                parent=span_id)
+            reg.counter("parallel.chunks.total", **labels).inc(len(chunk_meta))
             reg.counter("parallel.items.total", **labels).inc(len(frames))
             reg.counter("parallel.serialized.bytes.total", dir="out",
                         **labels).inc(out_bytes)
@@ -185,21 +199,28 @@ class WorkerPool:
         pending = []
         out_bytes = 0
         for lo in range(0, len(frames), per_chunk):
-            payload = pack_frames(frames[lo: lo + per_chunk])
+            chunk = frames[lo: lo + per_chunk]
+            payload = pack_frames(chunk)
             out_bytes += len(payload)
             pending.append((executor.submit(run_chunk, kind, material,
-                                            payload),
-                            time.perf_counter() if observing else 0.0))
+                                            payload, observing),
+                            time.perf_counter() if observing else 0.0,
+                            len(chunk)))
         results: list[bytes] = []
         in_bytes = 0
-        waits = []
-        for future, submitted in pending:
+        chunk_meta: list[tuple[float, int, bytes | None]] = []
+        for future, submitted, items in pending:
             payload = future.result()
             in_bytes += len(payload)
+            # Kernels map frames 1:1, so the first `items` frames are
+            # data; a single trailing frame is the telemetry delta.
+            out = unpack_frames(payload)
+            results.extend(out[:items])
             if observing:
-                waits.append(time.perf_counter() - submitted)
-            results.extend(unpack_frames(payload))
-        return results, len(pending), out_bytes, in_bytes, waits
+                delta = out[items] if len(out) > items else None
+                chunk_meta.append(
+                    (time.perf_counter() - submitted, items, delta))
+        return results, out_bytes, in_bytes, chunk_meta
 
     def _run_shm(self, kind: str, material: tuple[bytes, ...], frames: list,
                  per_chunk: int, observing: bool):
@@ -218,7 +239,7 @@ class WorkerPool:
         pending = []
         out_bytes = 0
         in_bytes = 0
-        waits: list[float] = []
+        chunk_meta: list[tuple[float, int, bytes | None]] = []
         results: list[bytes] = []
         try:
             for lo in range(0, len(frames), per_chunk):
@@ -230,32 +251,42 @@ class WorkerPool:
                 # Sized for every kind's worst case: derive emits 36
                 # bytes per frame from arbitrarily small inputs, encrypt
                 # adds nonce+tag (48) per frame, decrypt only shrinks.
+                # The telemetry allowance leaves room for the piggyback
+                # delta frame; the worker drops the delta (never fails
+                # the chunk) if it would not fit.
                 response_cap = request_len + 48 * len(chunk) + 64
+                if observing:
+                    response_cap += TELEMETRY_ALLOWANCE
                 response = segments.acquire(response_cap)
                 pending.append((
                     executor.submit(run_chunk_shm, kind, material,
                                     request.name, request_len,
-                                    response.name, response_cap),
+                                    response.name, response_cap, observing),
                     time.perf_counter() if observing else 0.0,
-                    request, response))
-            for future, submitted, _, response in pending:
+                    len(chunk), request, response))
+            for future, submitted, items, _, response in pending:
                 response_len = future.result()
                 in_bytes += response_len
+                out = [bytes(frame)
+                       for frame in iter_frames(response.buf[:response_len])]
+                # Kernels map frames 1:1, so the first `items` frames
+                # are data; a single trailing frame is the telemetry
+                # delta.
+                results.extend(out[:items])
                 if observing:
-                    waits.append(time.perf_counter() - submitted)
-                results.extend(
-                    bytes(frame)
-                    for frame in iter_frames(response.buf[:response_len]))
+                    delta = out[items] if len(out) > items else None
+                    chunk_meta.append(
+                        (time.perf_counter() - submitted, items, delta))
         finally:
             # On the success path every future is already done; on
             # failure, block until in-flight workers stop touching the
             # segments before recycling them.
             if pending:
                 wait([entry[0] for entry in pending])
-            for _, _, request, response in pending:
+            for _, _, _, request, response in pending:
                 segments.release(request)
                 segments.release(response)
-        return results, len(pending), out_bytes, in_bytes, waits
+        return results, out_bytes, in_bytes, chunk_meta
 
     # ------------------------------------------------------------------
     # lifecycle

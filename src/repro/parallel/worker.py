@@ -36,6 +36,8 @@ counts and backends.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from multiprocessing import resource_tracker, shared_memory
 from typing import Iterator
 
@@ -43,9 +45,11 @@ from repro.crypto.aead import AuthenticatedCipher
 from repro.crypto.backend import make_cipher, make_prf
 from repro.crypto.prf import Prf
 from repro.errors import FrameError
+from repro.obs.delta import TelemetryBuffer, encode_delta
 
 __all__ = [
     "NONCE_LEN",
+    "TELEMETRY_ALLOWANCE",
     "init_worker",
     "iter_frames",
     "pack_frames",
@@ -67,6 +71,17 @@ _KERNELS: dict[tuple[bytes, ...], object] = {}
 #: pool's whole lifetime, so attaches happen once, not per chunk.
 _SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
 _SEGMENTS_MAX = 64
+
+#: Per-process telemetry buffer (single-threaded, hence lock-free).  The
+#: coordinator decides per chunk — from its own ``OBS.enabled`` at
+#: dispatch time — whether the worker fills and drains it; the worker
+#: never consults the (forced-off) process-wide OBS handle.
+_TELEMETRY = TelemetryBuffer()
+
+#: Extra response-segment headroom the coordinator reserves for one
+#: telemetry piggyback frame when observing (a drained per-chunk delta
+#: is a few hundred bytes of compact JSON).
+TELEMETRY_ALLOWANCE = 4096
 
 # A frame is bytes (or a view) — or a tuple of byte parts packed
 # contiguously, which lets the coordinator pass (nonce, plaintext)
@@ -157,15 +172,17 @@ def init_worker() -> None:
     Forked workers inherit the coordinator's observability switch; they
     must not record (their registries are invisible copies) nor share the
     parent's trace file descriptor, so the child's handle is forced off.
-    Workers also start with empty kernel and segment caches — fork may
-    have copied the parent's, and a stale inherited mapping must not
-    shadow a fresh attach.
+    Workers also start with empty kernel, segment and telemetry state —
+    fork may have copied the parent's, and a stale inherited mapping
+    must not shadow a fresh attach (nor inherited telemetry ship as a
+    first chunk's delta).
     """
     from repro.obs import OBS
 
     OBS.enabled = False
     _KERNELS.clear()
     _SEGMENTS.clear()
+    _TELEMETRY.clear()
 
 
 def _prf(material: tuple[bytes, ...]) -> Prf:
@@ -245,28 +262,78 @@ def _compute(kind: str, material: tuple[bytes, ...],
     raise ValueError(f"unknown chunk kind {kind!r}")
 
 
-def run_chunk(kind: str, material: tuple[bytes, ...], payload: bytes) -> bytes:
-    """Pipe-transport chunk: packed payload in, packed payload out."""
-    return pack_frames(_compute(kind, material, unpack_frames(payload)))
+def _drain_telemetry(kind: str, items: int, total_s: float,
+                     compute_s: float) -> bytes:
+    """Record one chunk's timings and drain the buffer as a wire delta.
+
+    Metric names are final (``parallel.worker.*``); the coordinator's
+    merge only adds the ``worker`` label.  The drain resets the buffer,
+    so each observation ships in exactly one delta — a chunk whose
+    future never resolves (killed worker) loses its delta instead of
+    replaying it.
+    """
+    buf = _TELEMETRY
+    buf.observe("parallel.worker.chunk.seconds", total_s, kind=kind)
+    buf.observe("parallel.worker.compute.seconds", compute_s, kind=kind)
+    buf.observe("parallel.worker.overhead.seconds",
+                max(0.0, total_s - compute_s), kind=kind)
+    buf.inc("parallel.worker.chunks.total", 1, kind=kind)
+    buf.inc("parallel.worker.items.total", items, kind=kind)
+    buf.span("parallel.worker.chunk", total_s, kind=kind, items=items,
+             compute=compute_s)
+    return encode_delta(buf.drain(), str(os.getpid()))
+
+
+def run_chunk(kind: str, material: tuple[bytes, ...], payload: bytes,
+              telemetry: bool = False) -> bytes:
+    """Pipe-transport chunk: packed payload in, packed payload out.
+
+    With ``telemetry`` (the coordinator's ``OBS.enabled`` at dispatch
+    time) the response carries one extra trailing frame — the worker's
+    drained metric/span delta.  Every kind maps input frames to output
+    frames 1:1, so the coordinator splits data from telemetry by count.
+    """
+    if not telemetry:
+        return pack_frames(_compute(kind, material, unpack_frames(payload)))
+    start = time.perf_counter()
+    frames = unpack_frames(payload)
+    compute_start = time.perf_counter()
+    out = _compute(kind, material, frames)
+    compute_s = time.perf_counter() - compute_start
+    total_s = time.perf_counter() - start
+    out.append(_drain_telemetry(kind, len(frames), total_s, compute_s))
+    return pack_frames(out)
 
 
 def run_chunk_shm(kind: str, material: tuple[bytes, ...],
                   request_name: str, request_len: int,
-                  response_name: str, response_cap: int) -> int:
+                  response_name: str, response_cap: int,
+                  telemetry: bool = False) -> int:
     """Shared-memory chunk: reads frame *views*, writes the response.
 
     Returns the packed length of the response, the only payload that
     crosses the pipe.  ``response_cap`` is the coordinator's sizing of
     the response segment; the worker re-checks it so a sizing bug
     surfaces as an explicit error, not a silent out-of-bounds write.
+    With ``telemetry``, one extra trailing frame carries the worker's
+    drained delta — appended only if it fits the remaining capacity, so
+    telemetry can degrade (drop) but never fail a chunk.
     """
+    start = time.perf_counter() if telemetry else 0.0
     request = _attach_segment(request_name)
     frames = list(iter_frames(request.buf[:request_len]))
+    compute_start = time.perf_counter() if telemetry else 0.0
     out = _compute(kind, material, frames)
     needed = packed_size(out)
     if needed > response_cap:
         raise FrameError(
             f"response needs {needed} bytes but the coordinator sized "
             f"the segment for {response_cap}")
+    if telemetry:
+        now = time.perf_counter()
+        delta = _drain_telemetry(kind, len(frames), now - start,
+                                 now - compute_start)
+        if needed + 4 + len(delta) <= response_cap:
+            out.append(delta)
     response = _attach_segment(response_name)
     return pack_frames_into(out, response.buf)

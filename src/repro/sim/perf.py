@@ -63,6 +63,7 @@ __all__ = [
     "compare_obs_traces",
     "compare_parallel_traces",
     "compare_shard_traces",
+    "compare_telemetry_traces",
     "compare_traces",
     "parallel_round_config",
     "run_parallel_benchmark",
@@ -699,6 +700,51 @@ def compare_backend_traces(worker_counts: Sequence[int] = (1, 2, 4),
             "combos": combos, "identical": identical}
 
 
+def compare_telemetry_traces(workers: int = 2, n: int = 256, rounds: int = 6,
+                             seed: int = 31, b: int = 32,
+                             value_size: int = 512) -> dict:
+    """Worker-telemetry neutrality oracle (the PR-7 acceptance check).
+
+    A pooled run with full observability on — per-chunk telemetry deltas
+    piggybacking on every response frame — must reproduce the serial,
+    observability-off run's adversary trace and responses byte for byte.
+    The telemetry must also actually arrive: the merged
+    ``parallel.worker.chunks.total`` counters must account for at least
+    one chunk per round, each labelled with the worker that ran it.
+    ``min_batch=1`` forces every kernel call through the pool so the
+    piggyback rides every dispatch path.
+    """
+    from repro import obs
+
+    reference = bench_rounds_parallel(
+        workers=1, n=n, rounds=rounds, seed=seed, b=b,
+        value_size=value_size, min_batch=1)
+    with obs.capture() as handle:
+        pooled = bench_rounds_parallel(
+            workers=workers, n=n, rounds=rounds, seed=seed, b=b,
+            value_size=value_size, min_batch=1)
+        worker_chunks = 0.0
+        worker_ids: list[str] = []
+        for name, labels, metric in handle.registry:
+            if name == "parallel.worker.chunks.total":
+                worker_chunks += metric.value
+                worker = dict(labels).get("worker")
+                if worker and worker not in worker_ids:
+                    worker_ids.append(worker)
+    identical = (pooled["trace"] == reference["trace"]
+                 and pooled["responses"] == reference["responses"])
+    return {
+        "workers": workers,
+        "trace": {"off": reference["trace"], "on": pooled["trace"]},
+        "responses": {"off": reference["responses"],
+                      "on": pooled["responses"]},
+        "worker_chunks_merged": worker_chunks,
+        "workers_reporting": sorted(worker_ids),
+        "telemetry_arrived": worker_chunks >= rounds,
+        "identical": identical,
+    }
+
+
 def compare_shard_traces(partitions: int = 2, shard_workers: int = 2,
                          n_per_partition: int = 256, rounds: int = 6,
                          seed: int = 13) -> dict:
@@ -845,6 +891,7 @@ def run_parallel_benchmark(worker_counts: Sequence[int] = (1, 2, 4, 8),
             backends=backends),
         "shard_equivalence": compare_shard_traces(),
         "small_shape_equivalence": compare_parallel_traces(),
+        "telemetry": compare_telemetry_traces(),
     }
 
 

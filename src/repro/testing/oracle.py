@@ -50,6 +50,7 @@ __all__ = [
     "Violation",
     "check_batch_shape",
     "check_replay_prefix",
+    "check_timing_channel",
     "check_uniformity",
     "collapse_trace",
 ]
@@ -64,7 +65,8 @@ class Violation:
     ``unrecoverable`` (retries exhausted), ``replay`` (aborted attempt
     not a prefix of its retry), ``shape`` (batch composition broken),
     ``lifecycle`` (write-once/read-once violated), ``alpha`` / ``beta``
-    (uniformity bound exceeded).
+    (uniformity bound exceeded), ``timing`` (shaped round schedule
+    leaks as much as — or more than — the on-fill schedule).
     """
 
     kind: str
@@ -245,3 +247,32 @@ def check_uniformity(collapsed: list[AccessRecord],
             f"observed min beta {report.min_beta} below bound "
             f"{beta_bound}"))
     return violations, report
+
+
+def check_timing_channel(benchmark: dict,
+                         max_shaped_score: float = 0.35) -> list[Violation]:
+    """The timing-side-channel property over a benchmark report.
+
+    Takes the output of
+    :func:`repro.analysis.timing.timing_attack_benchmark` and asserts
+    what round-schedule shaping must deliver: the fixed-interval
+    schedule leaks strictly less than the on-fill schedule, and its
+    absolute leakage score stays under ``max_shaped_score`` (the
+    attacks' residual noise floor — a shaped schedule that still hands
+    the adversary a third of the signal is not shaped).
+    """
+    violations: list[Violation] = []
+    on_fill = benchmark["on_fill"]["leakage_score"]
+    fixed = benchmark["fixed"]["leakage_score"]
+    if fixed >= on_fill:
+        violations.append(Violation(
+            "timing",
+            f"shaped schedule leaks {fixed:.3f} >= on-fill {on_fill:.3f} "
+            f"(seed {benchmark.get('seed')})"))
+    if fixed > max_shaped_score:
+        violations.append(Violation(
+            "timing",
+            f"shaped schedule leakage {fixed:.3f} exceeds the "
+            f"{max_shaped_score} noise ceiling (seed "
+            f"{benchmark.get('seed')})"))
+    return violations

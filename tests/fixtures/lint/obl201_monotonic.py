@@ -1,0 +1,14 @@
+"""Known-bad fixture: a raw monotonic read outside ``obs/`` (OBL201).
+
+``time.monotonic`` is not wall-clock time, but it is still host time:
+protocol code that branches on it stops replaying under the chaos
+harness.  Observation timestamps must go through the sanctioned
+``repro.obs.clock()`` funnel (itself allowed only inside ``obs/`` and
+``analysis/``); protocol time comes from the sim clock.
+"""
+
+import time
+
+
+def round_release_instant() -> float:
+    return time.monotonic()

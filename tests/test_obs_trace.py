@@ -1,11 +1,13 @@
 """Tests for the structured tracing layer (spans, events, sinks)."""
 
 import json
+import math
+import threading
 
 import pytest
 
 from repro import obs
-from repro.obs.trace import NULL_SPAN, Tracer
+from repro.obs.trace import NULL_SPAN, Tracer, jsonl_line
 
 
 class TestTracer:
@@ -70,6 +72,124 @@ class TestTracer:
         tracer.event("b")
         assert len(seen) == 1
         tracer.unsubscribe(seen.append)  # absent: no-op
+
+
+class TestSpanTree:
+    def test_open_close_assigns_parentage(self):
+        tracer = Tracer()
+        round_tok = tracer.open_span("round", root=True)
+        plan_tok = tracer.open_span("phase.plan")
+        tracer.close_span(plan_tok, 0.01)
+        tracer.close_span(round_tok, 0.02)
+        (plan,) = tracer.spans("phase.plan")
+        (root,) = tracer.spans("round")
+        assert plan["parent"] == root["span_id"] == round_tok
+        assert root["parent"] is None
+
+    def test_record_span_parents_under_innermost_open(self):
+        tracer = Tracer()
+        round_tok = tracer.open_span("round", root=True)
+        inner = tracer.record_span("parallel.chunk", 0.005)
+        explicit = tracer.record_span("parallel.worker.chunk", 0.004,
+                                      parent=inner)
+        tracer.close_span(round_tok, 0.01)
+        (chunk,) = tracer.spans("parallel.chunk")
+        (worker,) = tracer.spans("parallel.worker.chunk")
+        assert chunk["parent"] == round_tok
+        assert worker["parent"] == inner
+        assert explicit != inner
+
+    def test_close_pops_orphans_left_by_exceptions(self):
+        tracer = Tracer()
+        round_tok = tracer.open_span("round", root=True)
+        tracer.open_span("phase.plan")  # never closed (exception path)
+        tracer.close_span(round_tok, 0.02)
+        (root,) = tracer.spans("round")
+        assert root["parent"] is None
+        # A following round is unaffected.
+        second = tracer.open_span("round", root=True)
+        tracer.close_span(second, 0.01)
+        assert tracer.spans("round")[1]["parent"] is None
+
+    def test_root_open_resets_a_corrupted_stack(self):
+        tracer = Tracer()
+        tracer.open_span("round")  # abandoned entirely
+        round_tok = tracer.open_span("round", root=True)
+        child = tracer.open_span("phase.plan")
+        tracer.close_span(child, 0.01)
+        tracer.close_span(round_tok, 0.02)
+        (plan,) = tracer.spans("phase.plan")
+        assert plan["parent"] == round_tok
+
+    def test_span_ids_are_unique_across_records(self):
+        tracer = Tracer()
+        for _ in range(5):
+            tok = tracer.open_span("round", root=True)
+            tracer.record_span("leaf", 0.001)
+            tracer.close_span(tok, 0.002)
+        ids = [r["span_id"] for r in tracer.spans()]
+        assert len(ids) == len(set(ids)) == 10
+
+    def test_stacks_are_thread_local(self):
+        tracer = Tracer()
+        main_tok = tracer.open_span("round", root=True)
+        results = {}
+
+        def other_thread():
+            tok = tracer.open_span("round", root=True)
+            results["leaf"] = tracer.record_span("leaf", 0.001)
+            tracer.close_span(tok, 0.002)
+
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+        tracer.close_span(main_tok, 0.01)
+        # The other thread's leaf parents under *its* round, and the
+        # main thread's round still closes at the root.
+        leaf = next(r for r in tracer.spans("leaf"))
+        other_round = next(r for r in tracer.spans("round")
+                           if r["span_id"] != main_tok)
+        assert leaf["parent"] == other_round["span_id"]
+        main_round = next(r for r in tracer.spans("round")
+                          if r["span_id"] == main_tok)
+        assert main_round["parent"] is None
+
+
+class TestJsonlEncoding:
+    def test_non_finite_floats_encode_as_strings(self):
+        line = jsonl_line({"kind": "event", "attrs": {
+            "rate": math.inf, "drop": -math.inf, "skew": math.nan,
+            "nested": [1.0, math.inf], "ok": 0.5}})
+        parsed = json.loads(line)  # must not raise
+        assert parsed["attrs"]["rate"] == "+Inf"
+        assert parsed["attrs"]["drop"] == "-Inf"
+        assert parsed["attrs"]["skew"] == "NaN"
+        assert parsed["attrs"]["nested"] == [1.0, "+Inf"]
+        assert parsed["attrs"]["ok"] == 0.5
+        assert "Infinity" not in line
+
+    def test_file_sink_round_trips_inf(self, tmp_path):
+        """A zero-width throughput window observes ``inf``; the streamed
+        trace must still parse line by line."""
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(path))
+        try:
+            obs.OBS.event("throughput.window", ops_per_second=math.inf)
+        finally:
+            obs.disable()
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["attrs"]["ops_per_second"] == "+Inf"
+
+    def test_write_trace_jsonl_round_trips_non_finite(self, tmp_path):
+        from repro.obs.export import write_trace_jsonl
+
+        records = [{"kind": "event", "name": "meter",
+                    "attrs": {"rate": math.inf, "jitter": math.nan}}]
+        path = tmp_path / "export.jsonl"
+        assert write_trace_jsonl(records, path) == 1
+        (parsed,) = [json.loads(line)
+                     for line in path.read_text().splitlines()]
+        assert parsed["attrs"] == {"rate": "+Inf", "jitter": "NaN"}
 
 
 class TestObservabilityHandle:
