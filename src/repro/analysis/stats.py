@@ -1,0 +1,126 @@
+"""Small statistics toolkit: percentiles, bootstrap CIs, KS goodness.
+
+The serving benchmark reports tail latencies, and a p99 from a few
+hundred samples is itself a noisy estimate — reporting it without an
+interval invites over-reading one lucky run.  This module provides the
+three pieces the benchmark and the open-loop workload tests share:
+
+* :func:`percentile` — linear-interpolation percentile (the numpy
+  default), dependency-free so the helpers work on plain lists;
+* :func:`bootstrap_ci` — seeded percentile-method bootstrap confidence
+  interval for any statistic of an i.i.d.-ish sample;
+* :func:`ks_statistic` / :func:`ks_exponential` — the Kolmogorov–
+  Smirnov distance against an arbitrary CDF, specialised for the
+  exponential inter-arrival check on :class:`PoissonArrivals`.
+
+Everything is deterministic given its seed; the known-answer fixtures
+in ``tests/test_analysis_stats.py`` pin exact outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.seeding import seeded_rng
+
+__all__ = [
+    "bootstrap_ci",
+    "ks_exponential",
+    "ks_statistic",
+    "percentile",
+]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default ("linear") method so numbers
+    are comparable with any externally produced report.
+    """
+    if not samples:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError("percentile q must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def bootstrap_ci(samples: Sequence[float],
+                 statistic: Callable[[Sequence[float]], float],
+                 *, n_resamples: int = 200, confidence: float = 0.95,
+                 seed: int | None = None) -> tuple[float, float, float]:
+    """Percentile-method bootstrap interval for ``statistic(samples)``.
+
+    Resamples with replacement ``n_resamples`` times using a seeded RNG
+    and returns ``(point, lo, hi)`` where ``point`` is the statistic of
+    the original sample and ``[lo, hi]`` covers the central
+    ``confidence`` mass of the bootstrap distribution.
+
+    The percentile method is the bluntest bootstrap (no bias
+    correction), which is fine here: the benchmark needs honest error
+    bars on latency quantiles, not publishable inference.
+    """
+    if not samples:
+        raise ConfigurationError("bootstrap of an empty sample")
+    if n_resamples < 1:
+        raise ConfigurationError("n_resamples must be >= 1")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    data = list(samples)
+    point = statistic(data)
+    rng = seeded_rng(seed)
+    n = len(data)
+    replicates = sorted(
+        statistic([data[rng.randrange(n)] for _ in range(n)])
+        for _ in range(n_resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo = percentile(replicates, 100.0 * alpha)
+    hi = percentile(replicates, 100.0 * (1.0 - alpha))
+    return point, lo, hi
+
+
+def ks_statistic(samples: Sequence[float],
+                 cdf: Callable[[float], float]) -> float:
+    """One-sample Kolmogorov–Smirnov distance ``sup |F_n(x) - F(x)|``.
+
+    The supremum over a step empirical CDF is attained at a sample
+    point, approaching from below or above, so both one-sided gaps are
+    evaluated at every order statistic.
+    """
+    if not samples:
+        raise ConfigurationError("KS statistic of an empty sample")
+    ordered = sorted(samples)
+    n = len(ordered)
+    distance = 0.0
+    for i, x in enumerate(ordered):
+        theoretical = cdf(x)
+        distance = max(distance,
+                       abs((i + 1) / n - theoretical),
+                       abs(theoretical - i / n))
+    return distance
+
+
+def ks_exponential(samples: Sequence[float],
+                   rate: float) -> tuple[float, float]:
+    """KS distance of ``samples`` against Exponential(``rate``).
+
+    Returns ``(statistic, critical_value)`` where the critical value is
+    the large-sample 5% threshold ``1.358 / sqrt(n)`` — the Poisson
+    inter-arrival test asserts ``statistic < critical_value``.
+    """
+    if rate <= 0:
+        raise ConfigurationError("exponential rate must be positive")
+    statistic = ks_statistic(
+        samples, lambda x: 1.0 - math.exp(-rate * x) if x > 0 else 0.0)
+    return statistic, 1.358 / math.sqrt(len(samples))

@@ -173,6 +173,36 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="additionally write the JSON report to PATH")
 
+    serve = sub.add_parser(
+        "serve", help="run the asyncio round-coalescing server "
+                      "(repro.serve) over TCP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = pick a free port)")
+    serve.add_argument("--n", type=int, default=1024,
+                       help="database size")
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--policy",
+                       choices=["on-fill", "max-wait", "fixed-interval"],
+                       default="max-wait",
+                       help="round-release policy (DESIGN.md §13)")
+    serve.add_argument("--max-wait", type=float, default=0.01,
+                       help="max-wait straggler deadline in seconds")
+    serve.add_argument("--interval", type=float, default=0.02,
+                       help="fixed-interval grid spacing in seconds")
+    serve.add_argument("--queue-cap", type=int, default=1024,
+                       help="admission cap on pending requests "
+                            "(past it requests are shed as Overloaded)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="serve for this many seconds then exit "
+                            "(default 0 = until interrupted)")
+    serve.add_argument("--demo-load", type=float, default=0.0,
+                       metavar="RATE",
+                       help="drive a seeded Poisson client load at RATE "
+                            "req/s against the server for --duration")
+    serve.add_argument("--stats-json", default=None, metavar="PATH",
+                       help="write final serving stats as JSON to PATH")
+
     lint = sub.add_parser(
         "lint", help="run the oblint static-analysis suite (DESIGN.md §9)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
@@ -487,6 +517,91 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.core.datastore import WaffleDatastore
+    from repro.errors import OverloadedError
+    from repro.serve import AsyncFrontend, AsyncServeClient, ServeServer
+    from repro.serve.policy import make_policy
+    from repro.workloads.openloop import PoissonArrivals
+    from repro.workloads.trace import Operation
+    from repro.workloads.ycsb import YcsbWorkload
+
+    if args.demo_load > 0 and args.duration <= 0:
+        print("--demo-load requires a positive --duration", file=sys.stderr)
+        return EXIT_USAGE
+
+    config = WaffleConfig.paper_defaults(n=args.n, seed=args.seed)
+    workload = YcsbWorkload(args.n, read_proportion=0.5, theta=0.99,
+                            value_size=128, seed=args.seed)
+    datastore = WaffleDatastore(config, dict(workload.initial_records()),
+                                record=False)
+    policy = make_policy(args.policy, config.r, max_wait_s=args.max_wait,
+                         interval_s=args.interval)
+    frontend = AsyncFrontend(datastore, policy=policy,
+                             queue_cap=args.queue_cap)
+
+    async def demo_client(host: str, port: int) -> dict:
+        stream = PoissonArrivals(args.demo_load, args.n, seed=args.seed)
+        arrivals = stream.generate(args.duration)
+        workers = 8
+        shares = [arrivals[i::workers] for i in range(workers)]
+        counts = {"completed": 0, "shed": 0}
+
+        async def worker(share) -> None:
+            async with AsyncServeClient(host, port) as client:
+                for arrival in share:
+                    try:
+                        if arrival.op is Operation.WRITE:
+                            await client.put(arrival.key, b"demo-write")
+                        else:
+                            await client.get(arrival.key)
+                    except OverloadedError:
+                        counts["shed"] += 1
+                    else:
+                        counts["completed"] += 1
+
+        await asyncio.gather(*(worker(share) for share in shares))
+        return counts
+
+    async def run_server() -> dict:
+        async with ServeServer(frontend, args.host, args.port) as server:
+            host, port = server.address
+            print(f"serving on {host}:{port} "
+                  f"(policy {policy.name}, R={config.r}, "
+                  f"queue cap {args.queue_cap})")
+            demo: dict = {}
+            if args.demo_load > 0:
+                demo = await demo_client(host, port)
+            elif args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:  # pragma: no cover - interactive path
+                try:
+                    while True:
+                        await asyncio.sleep(3600)
+                except asyncio.CancelledError:
+                    pass
+            stats = frontend.stats()
+            stats["connections_total"] = server.connections_total
+            stats.update(demo)
+            return stats
+
+    try:
+        stats = asyncio.run(run_server())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        stats = frontend.stats()
+        print()
+    for key, value in stats.items():
+        print(f"  {key:18s}: {value}")
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+        print(f"stats -> {args.stats_json}")
+    return 0
+
+
 def _run_lint(args) -> int:
     from repro.lint import default_rules, run_lint
 
@@ -525,6 +640,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_chaos(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "lint":
         return _run_lint(args)
     return _show_bounds(args)

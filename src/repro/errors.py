@@ -67,6 +67,17 @@ class StorageTimeoutError(StorageError, TransientError, TimeoutError):
     """
 
 
+class OverloadedError(TransientError):
+    """The serving frontend shed this request under admission control.
+
+    Raised (or delivered over the wire) when the pending-request queue
+    has reached its configured cap.  Retryable by definition: shedding
+    is load-dependent, not request-dependent, and a shed request never
+    reached the proxy — the adversary-visible trace is unchanged, so a
+    retry leaks nothing new.
+    """
+
+
 class NetworkError(ReproError):
     """Base class for transport-layer failures between proxy and server."""
 

@@ -37,7 +37,9 @@ __all__ = [
     "decode_message",
     "encode_message",
     "read_frame",
+    "read_frame_async",
     "write_frame",
+    "write_frame_async",
 ]
 
 _MAX_FRAME = 64 * 1024 * 1024  # defensive cap: 64 MiB per frame
@@ -111,6 +113,7 @@ class _WireError:
         from repro.errors import (
             DuplicateKeyError,
             KeyNotFoundError,
+            OverloadedError,
             StorageError,
         )
 
@@ -120,6 +123,10 @@ class _WireError:
             raise KeyNotFoundError(detail.split(": ", 1)[-1].strip("'"))
         if name == "DuplicateKeyError":
             raise DuplicateKeyError(detail.split(": ", 1)[-1].strip("'"))
+        if name == "OverloadedError":
+            # Retryable by taxonomy: the request was shed before it
+            # reached the proxy (is_retryable() returns True).
+            raise OverloadedError(detail.strip() or "server overloaded")
         raise StorageError(self.message)
 
 
@@ -167,3 +174,38 @@ def read_frame(sock: socket.socket) -> bytes:
     if length > _MAX_FRAME:
         raise ProtocolError("frame exceeds size cap")
     return _read_exact(sock, length)
+
+
+# ----------------------------------------------------------------------
+# framing over asyncio streams (the serving frontend's transport)
+# ----------------------------------------------------------------------
+async def write_frame_async(writer, payload: bytes) -> None:
+    """Send one length-prefixed frame on an ``asyncio.StreamWriter``."""
+    if len(payload) > _MAX_FRAME:
+        raise ProtocolError("frame exceeds size cap")
+    writer.write(struct.pack(">I", len(payload)) + payload)
+    await writer.drain()
+
+
+async def read_frame_async(reader) -> bytes:
+    """Receive one length-prefixed frame from an ``asyncio.StreamReader``.
+
+    Raises ``ConnectionError`` on a peer that closes cleanly between
+    frames (mirroring :func:`read_frame`'s socket behaviour) and
+    :class:`~repro.errors.ProtocolError` on an oversized declaration.
+    A peer that stalls mid-frame simply pends here — slow-loris clients
+    hold their own connection task, never the server.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionError("peer closed the connection") from error
+    (length,) = struct.unpack(">I", header)
+    if length > _MAX_FRAME:
+        raise ProtocolError("frame exceeds size cap")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionError("peer closed mid-frame") from error

@@ -1,0 +1,81 @@
+"""The asyncio client stub for :class:`~repro.serve.server.ServeServer`.
+
+A thin, ordered stub: one connection, one in-flight request at a time
+(the concurrency tests open N *clients*, not N requests on one client —
+matching how the thread-based :class:`repro.net.client.RemoteStore`
+multiplies).  Wire errors come back as ``E``-tagged values and are
+re-raised as their taxonomy types via :meth:`_WireError.raise_`, so a
+shed request surfaces here as the retryable
+:class:`~repro.errors.OverloadedError` the caller can back off on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.net.protocol import (
+    _WireError,
+    decode_message,
+    encode_message,
+    read_frame_async,
+    write_frame_async,
+)
+
+__all__ = ["AsyncServeClient"]
+
+
+class AsyncServeClient:
+    """Framed request/reply client over an asyncio stream pair."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "AsyncServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # request/reply
+    # ------------------------------------------------------------------
+    async def _call(self, request: list):
+        if self._reader is None or self._writer is None:
+            raise ConnectionError("client is not connected")
+        await write_frame_async(self._writer, encode_message(request))
+        reply = decode_message(await read_frame_async(self._reader))
+        if isinstance(reply, _WireError):
+            reply.raise_()
+        return reply
+
+    async def get(self, key: str) -> bytes:
+        return await self._call(["GET", key])
+
+    async def put(self, key: str, value: bytes) -> None:
+        await self._call(["PUT", key, value])
+
+    async def ping(self) -> bytes:
+        return await self._call(["PING"])
+
+    async def stats(self) -> dict:
+        admitted, shed, depth, high_water, rounds = await self._call(["STATS"])
+        return {"admitted": admitted, "shed": shed, "depth": depth,
+                "high_water": high_water, "rounds": rounds}

@@ -1,0 +1,439 @@
+"""Chaos and timing conformance for the asyncio serving frontend.
+
+The batch-level chaos harness (:mod:`repro.testing.runner`) drives one
+scripted batch at a time; this module drives the *serving* path — an
+:class:`~repro.serve.frontend.AsyncFrontend` fed by an open-loop arrival
+stream, with a stateful :class:`~repro.testing.faults.FaultyTransport`
+spliced between the proxy and the recorded server so connection drops,
+timeouts and partial replies land mid-connection, while the round is in
+flight.
+
+Recovery is the production shape: the frontend's round executor retries
+an injected fault by reconnecting the transport and failing over to the
+HA standby snapshot (deterministic replay — the aborted attempt is a
+byte prefix of the retry), and the same differential oracle as the
+batch harness judges the result:
+
+* every response matches an insecure in-order model (read-your-writes
+  in round order, durability across failovers);
+* aborted attempts are exact replay prefixes of their commits;
+* the collapsed trace keeps Waffle's B/B/B shape and α/β bounds;
+* shed requests leave **no** storage-visible records at all.
+
+:func:`live_timing_report` runs the real frontend on the real clock
+under a flash-crowd arrival stream and scores each release policy with
+the PR-7 timing attacks against ground-truth rates — producing the
+``{"on_fill": ..., "fixed": ...}`` shape
+:func:`repro.testing.oracle.check_timing_channel` judges.  The
+fixed-interval policy commits to grid ticks, so its gap series is
+constant and scores exactly 0.0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.analysis.timing import detect_onset, load_inference_attack
+from repro.analysis.uniformity import UniformityReport
+from repro.baselines.insecure import InsecureStore
+from repro.core.batch import ClientRequest, ClientResponse
+from repro.core.config import WaffleConfig
+from repro.core.datastore import pad_value, unpad_value
+from repro.core.proxy import WaffleProxy
+from repro.crypto.keys import KeyChain
+from repro.errors import BackendUnavailableError, OverloadedError
+from repro.ha.replicated import HighlyAvailableProxy
+from repro.serve.frontend import AsyncFrontend
+from repro.serve.policy import make_policy
+from repro.storage.memory import InMemoryStore
+from repro.storage.recording import AccessRecord, RecordingStore
+from repro.storage.redis_sim import RedisSim
+from repro.testing.episodes import DEFAULT_CONFIG
+from repro.testing.faults import FaultPlan, FaultyTransport, InjectedFault
+from repro.testing.oracle import (
+    Attempt,
+    Violation,
+    check_batch_shape,
+    check_replay_prefix,
+    check_uniformity,
+    collapse_trace,
+)
+from repro.workloads.openloop import (
+    FlashCrowdArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.trace import Operation
+from repro.workloads.ycsb import key_name
+
+__all__ = [
+    "ServingEpisode",
+    "ServingResult",
+    "live_timing_report",
+    "run_serving_episode",
+    "run_serving_sweep",
+]
+
+
+@dataclass
+class ServingEpisode:
+    """One deterministic serving chaos scenario.
+
+    The arrival stream, the fault plan, and the proxy are all seeded, so
+    an episode replays bit-for-bit: arrivals enqueue in stream order
+    (asyncio task creation order is deterministic), rounds partition the
+    queue FIFO, and injected faults fire at fixed storage-op indices.
+    """
+
+    seed: int
+    workload: str = "poisson"  # "poisson" | "flash_crowd"
+    requests: int = 48
+    rate: float = 1000.0
+    policy: str = "on_fill"
+    queue_cap: int = 4096
+    fault_rate: float = 0.05
+    write_fraction: float = 0.45
+    config: dict = field(default_factory=lambda: dict(DEFAULT_CONFIG))
+    max_attempts: int = 8
+
+    def build_config(self) -> WaffleConfig:
+        return WaffleConfig(seed=self.seed, **self.config)
+
+    def build_arrivals(self):
+        """The episode's arrival stream (ops drawn from the same seed)."""
+        n_keys = self.config["n"]
+        read_fraction = 1.0 - self.write_fraction
+        if self.workload == "poisson":
+            return PoissonArrivals(self.rate, n_keys, seed=self.seed,
+                                   read_fraction=read_fraction)
+        if self.workload == "flash_crowd":
+            duration = self.requests / self.rate
+            return FlashCrowdArrivals(
+                self.rate, n_keys, spike_factor=4.0,
+                burst_start=duration * 0.4, burst_duration=duration * 0.3,
+                hot_keys=max(1, n_keys // 16), seed=self.seed,
+                read_fraction=read_fraction)
+        raise ValueError(f"unknown serving workload {self.workload!r}")
+
+
+@dataclass(slots=True)
+class ServingResult:
+    """Everything one serving chaos run produced, for oracles and reports."""
+
+    episode: ServingEpisode
+    violations: list[Violation] = field(default_factory=list)
+    rounds_committed: int = 0
+    aborted_attempts: int = 0
+    reconnects: int = 0
+    failovers: int = 0
+    shed: int = 0
+    completed: int = 0
+    attempts: list[Attempt] = field(default_factory=list)
+    collapsed_records: list[AccessRecord] = field(default_factory=list)
+    release_times: list[float] = field(default_factory=list)
+    report: UniformityReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_serving_episode(episode: ServingEpisode) -> ServingResult:
+    """Drive one open-loop arrival stream through a faulty serving stack."""
+    result = ServingResult(episode=episode)
+    cfg = episode.build_config()
+    value_size = cfg.value_size
+
+    # ---- deploy: proxy -> FaultyTransport -> recorder -> server ---------
+    server = RedisSim(write_once=True)
+    recorder = RecordingStore(server)
+    proxy = WaffleProxy(cfg, store=recorder,
+                        keychain=KeyChain.from_seed(episode.seed),
+                        log_ids=True)
+    items = {key_name(i): f"serve-{episode.seed}-{i}".encode()
+             for i in range(cfg.n)}
+    proxy.initialize(
+        {key: pad_value(value, value_size) for key, value in items.items()})
+    init_end_seq = len(recorder.records)
+    transport = FaultyTransport(
+        recorder,
+        FaultPlan.generate(episode.seed ^ 0x5E12FE, 6 * episode.requests + 8,
+                           rate=episode.fault_rate))
+    proxy.store = transport
+    ha = HighlyAvailableProxy(proxy)
+    baseline = InsecureStore(InMemoryStore(), items)
+    batch_counter = 0
+
+    def execute(requests: list[ClientRequest]) -> list[ClientResponse]:
+        """One round, retried through reconnect + failover on faults.
+
+        Runs in the frontend's executor thread; rounds are strictly
+        sequential, so the HA object and the baseline see ordered use.
+        """
+        nonlocal batch_counter
+        batch_index = batch_counter
+        batch_counter += 1
+        prepared = [
+            ClientRequest(op=req.op, key=req.key,
+                          value=pad_value(req.value, value_size),
+                          request_id=req.request_id)
+            if req.value is not None else req
+            for req in requests
+        ]
+        for attempt_index in range(episode.max_attempts):
+            start_seq = len(recorder.records)
+            try:
+                responses = ha.handle_batch(prepared)
+            except InjectedFault as error:
+                result.attempts.append(Attempt(
+                    batch_index, attempt_index, start_seq,
+                    len(recorder.records), ok=False,
+                    error=type(error).__name__))
+                result.aborted_attempts += 1
+                transport.reconnect()
+                result.reconnects += 1
+                ha.fail_over()
+                result.failovers += 1
+                continue
+            result.attempts.append(Attempt(
+                batch_index, attempt_index, start_seq,
+                len(recorder.records), ok=True))
+            result.rounds_committed += 1
+            # Differential model, in round order (= admission order).
+            by_id = {resp.request_id: resp for resp in responses}
+            for request in requests:
+                if request.op is Operation.WRITE:
+                    baseline.put(request.key, request.value)
+                    expected = request.value
+                else:
+                    expected = baseline.get(request.key)
+                got = unpad_value(by_id[request.request_id].value)
+                if got != expected:
+                    result.violations.append(Violation(
+                        "semantics",
+                        f"round {batch_index} {request.op.value} of "
+                        f"{request.key!r} returned {got!r}, expected "
+                        f"{expected!r}"))
+            return [
+                ClientResponse(request_id=resp.request_id, key=resp.key,
+                               value=unpad_value(resp.value))
+                for resp in responses
+            ]
+        raise BackendUnavailableError(
+            f"round {batch_index} still failing after "
+            f"{episode.max_attempts} attempts")
+
+    # ---- drive the open-loop stream through the frontend -----------------
+    arrivals = episode.build_arrivals().generate(
+        episode.requests / episode.rate * 4.0)[:episode.requests]
+
+    async def drive() -> None:
+        frontend = AsyncFrontend(
+            execute=execute, r=cfg.r,
+            policy=make_policy(episode.policy, cfg.r, max_wait_s=0.002),
+            queue_cap=episode.queue_cap)
+        await frontend.start()
+
+        async def one(arrival):
+            if arrival.op is Operation.WRITE:
+                value = f"w-{arrival.key}-{arrival.at:.6f}".encode()
+                return await frontend.put(arrival.key, value)
+            return await frontend.get(arrival.key)
+
+        # Tasks run their first step (through the synchronous enqueue) in
+        # creation order at the next suspension point, so the pending
+        # queue holds the whole stream in arrival order before rounds
+        # fire; close() then drains any sub-R straggler tail that a pure
+        # on-fill policy would otherwise hold forever.
+        tasks = [asyncio.ensure_future(one(arrival)) for arrival in arrivals]
+        await asyncio.sleep(0)
+        await frontend.close()
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        result.release_times = list(frontend.release_times)
+        for outcome in outcomes:
+            if isinstance(outcome, OverloadedError):
+                result.shed += 1
+            elif isinstance(outcome, BaseException):
+                result.violations.append(Violation(
+                    "crash",
+                    f"client saw non-injected "
+                    f"{type(outcome).__name__}: {outcome}"))
+            else:
+                result.completed += 1
+
+    asyncio.run(drive())
+
+    # ---- judge -----------------------------------------------------------
+    records = recorder.records
+    result.violations.extend(check_replay_prefix(records, result.attempts))
+    result.collapsed_records = collapse_trace(records, result.attempts,
+                                              init_end_seq)
+    result.violations.extend(check_batch_shape(result.collapsed_records,
+                                               cfg.b))
+    uniformity_violations, report = check_uniformity(
+        result.collapsed_records, ha.proxy.id_log, cfg)
+    result.violations.extend(uniformity_violations)
+    result.report = report
+    return result
+
+
+@dataclass(slots=True)
+class ServingSweepReport:
+    """Aggregate outcome of a serving chaos sweep."""
+
+    episodes: int = 0
+    rounds_committed: int = 0
+    aborted_attempts: int = 0
+    reconnects: int = 0
+    shed: int = 0
+    completed: int = 0
+    failures: list[tuple[ServingEpisode, list[Violation]]] = field(
+        default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [
+            f"serving episodes  : {self.episodes}",
+            f"rounds committed  : {self.rounds_committed}",
+            f"aborted attempts  : {self.aborted_attempts}",
+            f"reconnects        : {self.reconnects}",
+            f"requests completed: {self.completed} (+{self.shed} shed)",
+            f"violations        : "
+            + str(sum(len(v) for _, v in self.failures)),
+        ]
+        for episode, violations in self.failures[:5]:
+            lines.append(f"  seed {episode.seed} ({episode.workload}/"
+                         f"{episode.policy}): "
+                         + "; ".join(str(v) for v in violations[:3]))
+        return "\n".join(lines)
+
+
+def run_serving_sweep(episodes: int = 12, base_seed: int = 0,
+                      requests: int = 32,
+                      fault_rate: float = 0.05) -> ServingSweepReport:
+    """Run seeded serving episodes across workloads × policies.
+
+    Fixed-interval is excluded here: it fires wall-clock-paced empty
+    rounds, which belongs to the live timing check
+    (:func:`live_timing_report`), not the deterministic oracle sweep.
+    """
+    workloads = ("poisson", "flash_crowd")
+    policies = ("on_fill", "max_wait")
+    report = ServingSweepReport()
+    for index in range(episodes):
+        episode = ServingEpisode(
+            seed=base_seed + index,
+            workload=workloads[index % len(workloads)],
+            policy=policies[(index // len(workloads)) % len(policies)],
+            requests=requests,
+            fault_rate=fault_rate)
+        result = run_serving_episode(episode)
+        report.episodes += 1
+        report.rounds_committed += result.rounds_committed
+        report.aborted_attempts += result.aborted_attempts
+        report.reconnects += result.reconnects
+        report.shed += result.shed
+        report.completed += result.completed
+        if not result.ok:
+            report.failures.append((episode, result.violations))
+    return report
+
+
+# ----------------------------------------------------------------------
+# the live timing check
+# ----------------------------------------------------------------------
+def _score_live_policy(policy_name: str, *, seed: int, rate: float,
+                       duration_s: float, interval_s: float,
+                       r: int) -> dict:
+    """Run the real frontend on the real clock and score its schedule."""
+    workload = FlashCrowdArrivals(
+        rate, 64, spike_factor=5.0, burst_start=duration_s * 0.4,
+        burst_duration=duration_s * 0.3, hot_keys=4, seed=seed,
+        read_fraction=1.0)
+    arrivals = workload.generate(duration_s)
+
+    def execute(requests: list[ClientRequest]) -> list[ClientResponse]:
+        # The adversary scores *when* rounds fire, not what they carry;
+        # a stand-in executor keeps the live run fast and jitter-free.
+        return [ClientResponse(request_id=req.request_id, key=req.key,
+                               value=b"") for req in requests]
+
+    release_times: list[float] = []
+    anchor = 0.0
+
+    async def drive() -> None:
+        nonlocal anchor
+        loop = asyncio.get_running_loop()
+        # Warm the default executor so the first round does not pay
+        # thread-pool spin-up inside a measured gap.
+        await loop.run_in_executor(None, lambda: None)
+        frontend = AsyncFrontend(
+            execute=execute, r=r,
+            policy=make_policy(policy_name, r, max_wait_s=interval_s,
+                               interval_s=interval_s))
+        start = frontend._clock()
+        anchor = start
+        await frontend.start()
+        submitted = 0
+        all_submitted = asyncio.Event()
+
+        async def one(arrival):
+            nonlocal submitted
+            await asyncio.sleep(max(0.0, arrival.at
+                                    - (frontend._clock() - start)))
+            submitted += 1
+            if submitted == len(arrivals):
+                all_submitted.set()
+            # The enqueue below happens in this same task step, before
+            # any close() waiter woken by the event can run.
+            return await frontend.get(arrival.key)
+
+        tasks = [asyncio.ensure_future(one(arrival)) for arrival in arrivals]
+        await all_submitted.wait()
+        if frontend.policy.fires_empty:
+            # Let the shaped schedule idle past the stream's end so the
+            # adversary also sees the "quiet" regime.
+            await asyncio.sleep(duration_s * 0.2)
+        await frontend.close()  # drains any sub-R on-fill straggler tail
+        await asyncio.gather(*tasks)
+        release_times.extend(frontend.release_times)
+
+    asyncio.run(drive())
+
+    gaps = list(zip(release_times, release_times[1:]))
+    true_rates = [workload.rate_at((a + b) / 2.0 - anchor) for a, b in gaps]
+    attack = load_inference_attack(release_times, true_rates, r)
+    return {
+        "policy": policy_name,
+        "rounds": len(release_times),
+        "leakage_score": attack["leakage_score"],
+        "onset_gap": detect_onset(release_times),
+        "seed": seed,
+    }
+
+
+def live_timing_report(seed: int = 0, *, rate: float = 600.0,
+                       duration_s: float = 0.6,
+                       interval_s: float = 0.025, r: int = 4) -> dict:
+    """Score on-fill vs fixed-interval on the live (wall-clock) frontend.
+
+    Returns the benchmark shape
+    :func:`repro.testing.oracle.check_timing_channel` expects.  The
+    schedule scored is the one each policy *committed to*: on-fill
+    commits to "now" (workload-shaped, leaky), fixed-interval commits to
+    grid ticks (constant gaps, leakage exactly 0.0 — sub-tick dispatch
+    jitter is host noise below the adversary's sampling resolution).
+    """
+    report = {
+        "seed": seed,
+        "on_fill": _score_live_policy("on_fill", seed=seed, rate=rate,
+                                      duration_s=duration_s,
+                                      interval_s=interval_s, r=r),
+        "fixed": _score_live_policy("fixed_interval", seed=seed, rate=rate,
+                                    duration_s=duration_s,
+                                    interval_s=interval_s, r=r),
+    }
+    return report

@@ -7,6 +7,12 @@ control distribution used by Table 2 and Figure 4.
 """
 
 from repro.workloads.correlated import ClickstreamModel, CorrelatedWorkload
+from repro.workloads.openloop import (
+    Arrival,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+)
 from repro.workloads.trace import Operation, TraceRequest, replay
 from repro.workloads.ycsb import (
     LatestWorkload,
@@ -19,9 +25,13 @@ from repro.workloads.ycsb import (
 from repro.workloads.zipf import HotspotSampler, UniformSampler, ZipfSampler
 
 __all__ = [
+    "Arrival",
     "ClickstreamModel",
     "CorrelatedWorkload",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
     "HotspotSampler",
+    "PoissonArrivals",
     "LatestWorkload",
     "Operation",
     "TraceRequest",

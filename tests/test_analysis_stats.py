@@ -1,0 +1,145 @@
+"""Known-answer fixtures for the statistics toolkit.
+
+The bootstrap is seeded, so its intervals are exact fixtures — any
+change to the resampling scheme (or the underlying RNG discipline)
+shows up here as a hard failure rather than a quiet drift in every
+benchmark's error bars.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    ks_exponential,
+    ks_statistic,
+    percentile,
+)
+from repro.errors import ConfigurationError
+from repro.seeding import seeded_rng
+
+DATA = [12.0, 7.0, 3.0, 9.0, 15.0, 4.0, 8.0, 11.0, 2.0, 6.0]
+
+
+class TestPercentile:
+    def test_known_answers(self):
+        assert percentile(DATA, 50.0) == pytest.approx(7.5)
+        assert percentile(DATA, 25.0) == pytest.approx(4.5)
+        assert percentile(DATA, 90.0) == pytest.approx(12.3)
+        assert percentile(DATA, 0.0) == 2.0
+        assert percentile(DATA, 100.0) == 15.0
+
+    def test_matches_numpy_linear_method(self):
+        numpy = pytest.importorskip("numpy")
+        for q in (0.0, 10.0, 33.3, 50.0, 75.0, 99.0, 100.0):
+            assert percentile(DATA, q) == pytest.approx(
+                float(numpy.percentile(DATA, q)))
+
+    def test_single_sample(self):
+        assert percentile([42.0], 99.0) == 42.0
+
+    def test_does_not_mutate_input(self):
+        data = [3.0, 1.0, 2.0]
+        percentile(data, 50.0)
+        assert data == [3.0, 1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+        with pytest.raises(ConfigurationError):
+            percentile(DATA, 101.0)
+
+
+class TestBootstrapCi:
+    def test_known_answer_mean(self):
+        point, lo, hi = bootstrap_ci(DATA, lambda s: sum(s) / len(s),
+                                     n_resamples=500, seed=42)
+        assert point == pytest.approx(7.7)
+        assert lo == pytest.approx(5.3)
+        assert hi == pytest.approx(10.0)
+
+    def test_known_answer_median(self):
+        point, lo, hi = bootstrap_ci(DATA, lambda s: percentile(s, 50.0),
+                                     n_resamples=500, seed=42)
+        assert point == pytest.approx(7.5)
+        assert lo == pytest.approx(3.7375, abs=1e-9)
+        assert hi == pytest.approx(11.0)
+
+    def test_interval_brackets_the_point(self):
+        for seed in range(5):
+            point, lo, hi = bootstrap_ci(DATA, lambda s: sum(s) / len(s),
+                                         seed=seed)
+            assert lo <= point <= hi
+
+    def test_deterministic_per_seed(self):
+        mean = lambda s: sum(s) / len(s)  # noqa: E731
+        first = bootstrap_ci(DATA, mean, seed=9)
+        second = bootstrap_ci(DATA, mean, seed=9)
+        third = bootstrap_ci(DATA, mean, seed=10)
+        assert first == second
+        assert first != third
+
+    def test_wider_confidence_is_wider(self):
+        _, lo95, hi95 = bootstrap_ci(DATA, lambda s: sum(s) / len(s),
+                                     confidence=0.95, seed=1)
+        _, lo50, hi50 = bootstrap_ci(DATA, lambda s: sum(s) / len(s),
+                                     confidence=0.50, seed=1)
+        assert hi95 - lo95 >= hi50 - lo50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([], max)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(DATA, max, n_resamples=0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(DATA, max, confidence=1.0)
+
+
+class TestKsStatistic:
+    def test_known_answer_uniform(self):
+        # F_n steps at .25/.5/.75/1; sup gap vs F(x)=x is at x=0.4.
+        assert ks_statistic([0.1, 0.4, 0.6, 0.9],
+                            lambda x: x) == pytest.approx(0.15)
+
+    def test_perfect_fit_scores_near_zero(self):
+        n = 1000
+        # Samples placed at the midpoints of F's quantile cells.
+        samples = [(i + 0.5) / n for i in range(n)]
+        assert ks_statistic(samples, lambda x: x) <= 0.5 / n + 1e-12
+
+    def test_gross_mismatch_scores_near_one(self):
+        assert ks_statistic([10.0, 11.0, 12.0],
+                            lambda x: 0.0 if x < 100 else 1.0) == \
+            pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ks_statistic([], lambda x: x)
+
+
+class TestKsExponential:
+    def test_known_answer(self):
+        statistic, critical = ks_exponential([1.0, 1.0, 1.0, 1.0], 1.0)
+        assert statistic == pytest.approx(1.0 - math.exp(-1.0))
+        assert critical == pytest.approx(1.358 / 2.0)
+
+    def test_true_exponential_passes(self):
+        rng = seeded_rng(77)
+        samples = [-math.log(1.0 - rng.random()) / 50.0
+                   for _ in range(4000)]
+        statistic, critical = ks_exponential(samples, 50.0)
+        assert statistic < critical
+
+    def test_wrong_rate_fails(self):
+        rng = seeded_rng(77)
+        samples = [-math.log(1.0 - rng.random()) / 50.0
+                   for _ in range(4000)]
+        statistic, critical = ks_exponential(samples, 80.0)
+        assert statistic > critical
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ks_exponential([1.0], 0.0)

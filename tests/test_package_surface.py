@@ -12,7 +12,7 @@ class TestErrorHierarchy:
     @pytest.mark.parametrize("name", [
         "ConfigurationError", "StorageError", "KeyNotFoundError",
         "DuplicateKeyError", "IntegrityError", "ProtocolError",
-        "ClosedError",
+        "ClosedError", "OverloadedError",
     ])
     def test_all_errors_derive_from_repro_error(self, name):
         exc = getattr(errors, name)
@@ -42,7 +42,7 @@ class TestPackageSurface:
         "repro.core", "repro.crypto", "repro.ds", "repro.storage",
         "repro.sim", "repro.workloads", "repro.baselines",
         "repro.analysis", "repro.bench", "repro.ha", "repro.scaleout",
-        "repro.net", "repro.cli",
+        "repro.net", "repro.cli", "repro.serve", "repro.testing",
     ])
     def test_subpackage_all_exports_resolve(self, module):
         mod = importlib.import_module(module)

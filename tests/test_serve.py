@@ -1,0 +1,428 @@
+"""Unit coverage for the serving frontend: policies, admission, server.
+
+The release policies are pure decision functions over timestamps, so
+they are tested on a :class:`~repro.sim.clock.SimClock` with no asyncio
+involved; the frontend and TCP layers run under ``asyncio.run`` against
+the real (tiny) datastore.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.batch import ClientRequest, ClientResponse
+from repro.errors import (
+    BackendUnavailableError,
+    ClosedError,
+    ConfigurationError,
+    OverloadedError,
+    ProtocolError,
+    StorageError,
+    is_retryable,
+)
+from repro.serve import (
+    AdmissionController,
+    AsyncFrontend,
+    AsyncServeClient,
+    FixedIntervalPolicy,
+    MaxWaitPolicy,
+    OnFillPolicy,
+    ServeServer,
+    make_policy,
+)
+from repro.sim.clock import SimClock
+from repro.workloads.trace import Operation
+from repro.workloads.ycsb import key_name
+
+
+# ----------------------------------------------------------------------
+# release policies (pure, SimClock-driven)
+# ----------------------------------------------------------------------
+class TestOnFillPolicy:
+    def test_fires_exactly_at_r(self):
+        policy = OnFillPolicy(4)
+        assert not policy.due(3, 0.0, 1.0)
+        assert policy.due(4, 0.0, 1.0)
+        assert policy.due(9, 0.0, 1.0)
+
+    def test_never_sets_a_deadline(self):
+        policy = OnFillPolicy(4)
+        assert policy.next_deadline(3, 0.0, 1.0) is None
+
+    def test_commits_to_now(self):
+        assert OnFillPolicy(4).release_time(2.5) == 2.5
+
+    def test_rejects_bad_r(self):
+        with pytest.raises(ConfigurationError):
+            OnFillPolicy(0)
+
+    def test_does_not_fire_empty(self):
+        assert OnFillPolicy(4).fires_empty is False
+
+
+class TestMaxWaitPolicy:
+    def test_partial_batch_fires_after_deadline(self):
+        clock = SimClock()
+        policy = MaxWaitPolicy(4, max_wait_s=0.5)
+        oldest = clock.now
+        assert not policy.due(2, oldest, clock.now)
+        clock.advance(0.49)
+        assert not policy.due(2, oldest, clock.now)
+        clock.advance(0.02)
+        assert policy.due(2, oldest, clock.now)
+
+    def test_full_batch_fires_immediately(self):
+        policy = MaxWaitPolicy(4, max_wait_s=0.5)
+        assert policy.due(4, 0.0, 0.0)
+
+    def test_deadline_tracks_oldest_arrival(self):
+        policy = MaxWaitPolicy(4, max_wait_s=0.5)
+        assert policy.next_deadline(2, 1.25, 1.3) == pytest.approx(1.75)
+        assert policy.next_deadline(0, None, 1.3) is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MaxWaitPolicy(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            MaxWaitPolicy(4, 0.0)
+
+
+class TestFixedIntervalPolicy:
+    def test_grid_from_first_query(self):
+        clock = SimClock(start=10.0)
+        policy = FixedIntervalPolicy(0.25)
+        assert not policy.due(5, 10.0, clock.now)
+        assert policy.next_deadline(5, 10.0, clock.now) == pytest.approx(10.25)
+        clock.advance(0.25)
+        assert policy.due(0, None, clock.now)
+
+    def test_commits_to_grid_ticks_not_now(self):
+        policy = FixedIntervalPolicy(0.25)
+        policy.due(0, None, 10.0)  # arm the epoch
+        release = policy.release_time(10.26)  # dispatched slightly late
+        assert release == pytest.approx(10.25)
+        policy.mark_release(release)
+        assert policy.next_deadline(0, None, 10.26) == pytest.approx(10.5)
+
+    def test_overrun_skips_ticks_without_makeup_bursts(self):
+        policy = FixedIntervalPolicy(0.25)
+        policy.due(0, None, 10.0)
+        # A round overran two full ticks; commit to the latest past tick.
+        release = policy.release_time(10.7)
+        assert release == pytest.approx(10.5)
+        policy.mark_release(release)
+        assert policy.next_deadline(0, None, 10.7) == pytest.approx(10.75)
+
+    def test_committed_gaps_are_exact_interval_multiples(self):
+        clock = SimClock()
+        policy = FixedIntervalPolicy(0.2)
+        policy.due(0, None, clock.now)  # arm the epoch at t=0
+        releases = []
+        for jitter in (0.0, 0.013, 0.19, 0.002, 0.07):
+            clock.advance(0.2 + jitter)
+            assert policy.due(0, None, clock.now)
+            release = policy.release_time(clock.now)
+            policy.mark_release(release)
+            releases.append(release)
+        gaps = [b - a for a, b in zip(releases, releases[1:])]
+        for gap in gaps:
+            assert gap / 0.2 == pytest.approx(round(gap / 0.2))
+
+    def test_fires_empty(self):
+        assert FixedIntervalPolicy(0.25).fires_empty is True
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            FixedIntervalPolicy(0.0)
+
+
+class TestMakePolicy:
+    def test_hyphenated_and_underscored_names(self):
+        assert isinstance(make_policy("on-fill", 4), OnFillPolicy)
+        assert isinstance(make_policy("max_wait", 4), MaxWaitPolicy)
+        assert isinstance(make_policy("fixed-interval", 4),
+                          FixedIntervalPolicy)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("adaptive", 4)
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def test_sheds_past_the_cap(self):
+        admission = AdmissionController(2)
+        admission.admit()
+        admission.admit()
+        with pytest.raises(OverloadedError):
+            admission.admit()
+        assert admission.admitted == 2
+        assert admission.shed == 1
+        assert admission.depth == 2
+
+    def test_shed_errors_are_retryable(self):
+        admission = AdmissionController(1)
+        admission.admit()
+        try:
+            admission.admit()
+        except OverloadedError as error:
+            assert is_retryable(error)
+        else:  # pragma: no cover
+            pytest.fail("expected OverloadedError")
+
+    def test_release_reopens_admission(self):
+        admission = AdmissionController(1)
+        admission.admit()
+        admission.release(1)
+        admission.admit()
+        assert admission.admitted == 2
+        assert admission.depth == 1
+
+    def test_high_water_tracks_peak(self):
+        admission = AdmissionController(8)
+        for _ in range(5):
+            admission.admit()
+        admission.release(3)
+        admission.admit()
+        assert admission.high_water == 5
+        assert admission.snapshot()["high_water"] == 5
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(0)
+
+
+# ----------------------------------------------------------------------
+# the coalescing frontend
+# ----------------------------------------------------------------------
+class TestAsyncFrontend:
+    def test_requires_datastore_or_executor(self):
+        with pytest.raises(ConfigurationError):
+            AsyncFrontend()
+        with pytest.raises(ConfigurationError):
+            AsyncFrontend(execute=lambda reqs: [])
+
+    def test_get_put_round_trip(self, small_datastore):
+        async def scenario():
+            # max-wait: sequential awaited requests release as partial
+            # rounds instead of waiting forever for a full batch.
+            frontend = AsyncFrontend(small_datastore,
+                                     policy=MaxWaitPolicy(8, 0.005))
+            async with frontend:
+                before = await frontend.get(key_name(3))
+                await frontend.put(key_name(3), b"updated")
+                after = await frontend.get(key_name(3))
+                return before, after
+
+        before, after = asyncio.run(scenario())
+        assert before == b"value-3"
+        assert after == b"updated"
+
+    def test_close_drains_partial_batches(self, small_datastore):
+        # r=8; submit 3 requests; pure on-fill would hold them forever,
+        # close() must drain them into a final partial round.
+        async def scenario():
+            frontend = AsyncFrontend(small_datastore)
+            await frontend.start()
+            tasks = [asyncio.ensure_future(frontend.get(key_name(i)))
+                     for i in range(3)]
+            await asyncio.sleep(0)
+            await frontend.close()
+            return await asyncio.gather(*tasks), frontend
+
+        values, frontend = asyncio.run(scenario())
+        assert values == [b"value-0", b"value-1", b"value-2"]
+        assert frontend.round_sizes == [3]
+
+    def test_submit_after_close_raises(self, small_datastore):
+        async def scenario():
+            frontend = AsyncFrontend(small_datastore)
+            await frontend.start()
+            await frontend.close()
+            with pytest.raises(ClosedError):
+                await frontend.get(key_name(0))
+
+        asyncio.run(scenario())
+
+    def test_stats_shape(self, small_datastore):
+        async def scenario():
+            async with AsyncFrontend(small_datastore) as frontend:
+                await asyncio.gather(*(frontend.get(key_name(i))
+                                       for i in range(8)))
+            return frontend.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["admitted"] == 8
+        assert stats["shed"] == 0
+        assert stats["rounds"] == 1
+        assert stats["real_requests"] == 8
+        assert stats["policy"] == "on_fill"
+
+    def test_release_times_recorded_per_round(self, small_datastore):
+        async def scenario():
+            async with AsyncFrontend(small_datastore) as frontend:
+                await asyncio.gather(*(frontend.get(key_name(i))
+                                       for i in range(16)))
+            return frontend
+
+        frontend = asyncio.run(scenario())
+        assert len(frontend.release_times) == 2
+        assert frontend.release_times == sorted(frontend.release_times)
+
+    def test_retryable_round_failure_is_retried(self):
+        calls = {"n": 0, "reconnects": 0}
+
+        def execute(requests):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise BackendUnavailableError("first attempt flakes")
+            return [ClientResponse(request_id=req.request_id, key=req.key,
+                                   value=b"ok") for req in requests]
+
+        async def scenario():
+            frontend = AsyncFrontend(
+                execute=execute, r=2, max_round_retries=1,
+                on_retry=lambda: calls.__setitem__(
+                    "reconnects", calls["reconnects"] + 1))
+            async with frontend:
+                return await asyncio.gather(
+                    frontend.get(key_name(0)), frontend.get(key_name(1)))
+
+        values = asyncio.run(scenario())
+        assert values == [b"ok", b"ok"]
+        assert calls["n"] == 2
+        assert calls["reconnects"] == 1
+
+    def test_fatal_round_failure_reaches_every_waiter(self):
+        def execute(requests):
+            raise ProtocolError("round is broken")
+
+        async def scenario():
+            async with AsyncFrontend(execute=execute, r=2,
+                                     max_round_retries=3) as frontend:
+                return await asyncio.gather(
+                    frontend.get(key_name(0)), frontend.get(key_name(1)),
+                    return_exceptions=True)
+
+        outcomes = asyncio.run(scenario())
+        assert all(isinstance(o, ProtocolError) for o in outcomes)
+
+    def test_retry_budget_exhaustion_propagates(self):
+        def execute(requests):
+            raise BackendUnavailableError("always down")
+
+        async def scenario():
+            async with AsyncFrontend(execute=execute, r=1,
+                                     max_round_retries=2) as frontend:
+                return await asyncio.gather(frontend.get(key_name(0)),
+                                            return_exceptions=True)
+
+        (outcome,) = asyncio.run(scenario())
+        assert isinstance(outcome, BackendUnavailableError)
+
+
+# ----------------------------------------------------------------------
+# the TCP layer
+# ----------------------------------------------------------------------
+class TestServeServer:
+    def test_round_trip_over_tcp(self, small_datastore):
+        async def scenario():
+            frontend = AsyncFrontend(small_datastore,
+                                     policy=MaxWaitPolicy(8, 0.005))
+            async with ServeServer(frontend) as server:
+                host, port = server.address
+                async with AsyncServeClient(host, port) as client:
+                    assert await client.ping() == b"PONG"
+                    value = await client.get(key_name(5))
+                    await client.put(key_name(5), b"over-tcp")
+                    updated = await client.get(key_name(5))
+                    stats = await client.stats()
+            return value, updated, stats, server
+
+        value, updated, stats, server = asyncio.run(scenario())
+        assert value == b"value-5"
+        assert updated == b"over-tcp"
+        assert stats["admitted"] == 3
+        assert stats["shed"] == 0
+        assert server.connections_total == 1
+
+    def test_unknown_command_is_an_error_reply(self, small_datastore):
+        async def scenario():
+            frontend = AsyncFrontend(small_datastore,
+                                     policy=MaxWaitPolicy(8, 0.005))
+            async with ServeServer(frontend) as server:
+                host, port = server.address
+                async with AsyncServeClient(host, port) as client:
+                    with pytest.raises(StorageError):
+                        await client._call(["BOGUS"])
+                    # The connection survives the error reply.
+                    assert await client.ping() == b"PONG"
+
+        asyncio.run(scenario())
+
+    def test_overloaded_travels_the_wire_as_retryable(self, small_datastore):
+        async def scenario():
+            # queue_cap=1 with a slow policy: the second concurrent
+            # request must be shed and surface client-side as the
+            # retryable taxonomy type.
+            frontend = AsyncFrontend(small_datastore,
+                                     policy=OnFillPolicy(8), queue_cap=1)
+            async with ServeServer(frontend) as server:
+                host, port = server.address
+                first = AsyncServeClient(host, port)
+                second = AsyncServeClient(host, port)
+                await first.connect()
+                await second.connect()
+                task = asyncio.ensure_future(first.get(key_name(0)))
+                await asyncio.sleep(0.05)  # first request now pending
+                with pytest.raises(OverloadedError) as excinfo:
+                    await second.get(key_name(1))
+                assert is_retryable(excinfo.value)
+                await frontend.close()  # drain the pending request
+                assert await task == b"value-0"
+                await first.close()
+                await second.close()
+
+        asyncio.run(scenario())
+
+    def test_put_requests_count_ops_in_stats(self, small_datastore):
+        async def scenario():
+            frontend = AsyncFrontend(small_datastore,
+                                     policy=MaxWaitPolicy(8, 0.005))
+            async with ServeServer(frontend) as server:
+                host, port = server.address
+                async with AsyncServeClient(host, port) as client:
+                    for i in range(4):
+                        await client.put(key_name(i), b"w")
+                    stats = await client.stats()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats["admitted"] == 4
+        assert stats["rounds"] >= 1
+
+
+class TestOperationMapping:
+    def test_frontend_builds_correct_request_kinds(self, small_datastore):
+        captured: list[list[ClientRequest]] = []
+        real_execute = small_datastore.execute_batch
+
+        def spy(requests):
+            captured.append(list(requests))
+            return real_execute(requests)
+
+        async def scenario():
+            frontend = AsyncFrontend(execute=spy, r=2)
+            async with frontend:
+                await asyncio.gather(frontend.get(key_name(0)),
+                                     frontend.put(key_name(1), b"x"))
+
+        asyncio.run(scenario())
+        (batch,) = captured
+        assert batch[0].op is Operation.READ
+        assert batch[1].op is Operation.WRITE
+        assert batch[1].value == b"x"
