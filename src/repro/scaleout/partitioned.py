@@ -44,6 +44,8 @@ class PartitionedWaffle:
         self.partitions = partitions
         self._route_key = hashlib.sha256(
             b"route:%d" % master_seed).digest()[:8]
+        self._hasher_proto = hashlib.blake2s(key=self._route_key,
+                                             digest_size=8)
         grouped: list[dict[str, bytes]] = [{} for _ in range(partitions)]
         for key, value in items.items():
             grouped[self.partition_of(key)][key] = value
@@ -80,9 +82,27 @@ class PartitionedWaffle:
     # routing
     # ------------------------------------------------------------------
     def partition_of(self, key: str) -> int:
-        digest = hashlib.blake2s(key.encode("utf-8"), key=self._route_key,
-                                 digest_size=8).digest()
-        return int.from_bytes(digest, "big") % self.partitions
+        # Copying a pre-keyed hasher skips blake2s key-block setup per
+        # call — this is the serving hot path (every routed get/put).
+        hasher = self._hasher_proto.copy()
+        hasher.update(key.encode("utf-8"))
+        return int.from_bytes(hasher.digest(), "big") % self.partitions
+
+    def partition_of_many(self, keys) -> list[int]:
+        """Bulk router: one pass, no per-key attribute lookups.
+
+        Byte-identical to calling :meth:`partition_of` per key — the
+        batched request path and dataset construction route through
+        here so the hasher-copy fast path is exercised everywhere.
+        """
+        proto = self._hasher_proto
+        partitions = self.partitions
+        out = []
+        for key in keys:
+            hasher = proto.copy()
+            hasher.update(key.encode("utf-8"))
+            out.append(int.from_bytes(hasher.digest(), "big") % partitions)
+        return out
 
     @classmethod
     def plan_partitions(cls, candidate_keys, per_partition: int,
@@ -95,6 +115,8 @@ class PartitionedWaffle:
         planner.partitions = partitions
         planner._route_key = hashlib.sha256(
             b"route:%d" % master_seed).digest()[:8]
+        planner._hasher_proto = hashlib.blake2s(key=planner._route_key,
+                                                digest_size=8)
         buckets: list[list[str]] = [[] for _ in range(partitions)]
         for key in candidate_keys:
             index = planner.partition_of(key)
@@ -118,9 +140,9 @@ class PartitionedWaffle:
         Responses return in the order of ``requests``.
         """
         shares: dict[int, list[ClientRequest]] = {}
-        for request in requests:
-            shares.setdefault(self.partition_of(request.key),
-                              []).append(request)
+        owners = self.partition_of_many(request.key for request in requests)
+        for request, owner in zip(requests, owners):
+            shares.setdefault(owner, []).append(request)
         by_id: dict[int, ClientResponse] = {}
         r = self.config.r
 

@@ -20,6 +20,11 @@ Three layers (DESIGN.md §13):
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` —
   :class:`ServeServer` speaking the :mod:`repro.net.protocol` framing
   over asyncio streams, and :class:`AsyncServeClient`, its stub.
+* :mod:`repro.serve.sharded` — :class:`ShardedFrontend`, the
+  multi-proxy scale-out: key-hash routing to P per-partition frontends
+  over a :class:`~repro.scaleout.PartitionedWaffle`, rounds running
+  concurrently across partitions on a shared sized executor
+  (DESIGN.md §14).
 
 The security posture of every release policy is *observable*: the
 frontend records the release instant each policy commits to, and the
@@ -35,10 +40,12 @@ from repro.serve.policy import (
     FixedIntervalPolicy,
     MaxWaitPolicy,
     OnFillPolicy,
+    RandomizedIntervalPolicy,
     ReleasePolicy,
     make_policy,
 )
 from repro.serve.server import ServeServer
+from repro.serve.sharded import ShardedFrontend
 
 __all__ = [
     "AdmissionController",
@@ -47,7 +54,9 @@ __all__ = [
     "FixedIntervalPolicy",
     "MaxWaitPolicy",
     "OnFillPolicy",
+    "RandomizedIntervalPolicy",
     "ReleasePolicy",
     "ServeServer",
+    "ShardedFrontend",
     "make_policy",
 ]

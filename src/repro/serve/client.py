@@ -79,3 +79,11 @@ class AsyncServeClient:
         admitted, shed, depth, high_water, rounds = await self._call(["STATS"])
         return {"admitted": admitted, "shed": shed, "depth": depth,
                 "high_water": high_water, "rounds": rounds}
+
+    async def shards(self) -> list[dict]:
+        """Per-partition stats rows (a single row when unsharded)."""
+        rows = await self._call(["SHARDS"])
+        return [{"partition": index, "admitted": admitted, "shed": shed,
+                 "depth": depth, "high_water": high_water, "rounds": rounds}
+                for index, (admitted, shed, depth, high_water, rounds)
+                in enumerate(rows)]

@@ -15,10 +15,14 @@ core rather than a test harness:
   requests become a round, and the frontend records every committed
   release instant in :attr:`release_times` so the PR-7 timing
   observatory can score the live schedule;
-* **off-loop execution** — rounds run one at a time in the default
+* **off-loop execution** — rounds run one at a time on a *dedicated*
   executor, so the event loop keeps accepting connections and arrivals
   while Algorithm 1 grinds (the proxy stays single-threaded per round,
-  exactly like the paper's per-batch critical section).
+  exactly like the paper's per-batch critical section).  The frontend
+  owns a single-thread pool by default; a sharded deployment
+  (:mod:`repro.serve.sharded`) passes one sized executor so P
+  frontends' rounds run concurrently without fighting the event loop's
+  default pool (or each other's unrelated ``run_in_executor`` work).
 
 Determinism: the pending queue is FIFO and asyncio is single-threaded,
 so the requests of each round are exactly the admission order — an
@@ -39,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
+from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Callable
 
 from repro.core.batch import ClientRequest, ClientResponse
@@ -89,6 +94,19 @@ class AsyncFrontend:
     max_round_retries / on_retry:
         Retry budget for retryable round failures, and the hook invoked
         before each retry (e.g. ``transport.reconnect``).
+    executor:
+        Where rounds run.  ``None`` (default) creates a dedicated
+        single-thread pool owned (and shut down) by this frontend —
+        rounds are strictly sequential, so one thread is exactly
+        enough, and round execution can never be starved by unrelated
+        work on the loop's default pool.  A sharded deployment passes
+        one shared sized executor so partitions' rounds run
+        concurrently; a shared executor is never shut down here.
+    shard:
+        Partition label for a sharded deployment.  When set, the
+        ``serve.shard.*`` per-partition metrics are emitted and every
+        ``serve.round`` span/metric carries a ``shard`` label so the
+        profiler decomposes round time per partition.
     """
 
     def __init__(self, datastore=None, *,
@@ -98,7 +116,9 @@ class AsyncFrontend:
                  r: int | None = None,
                  clock: Callable[[], float] = time.perf_counter,
                  max_round_retries: int = 0,
-                 on_retry: Callable[[], None] | None = None) -> None:
+                 on_retry: Callable[[], None] | None = None,
+                 executor: Executor | None = None,
+                 shard: str | None = None) -> None:
         if datastore is None and (execute is None or r is None):
             raise ConfigurationError(
                 "AsyncFrontend needs a datastore, or execute= plus r=")
@@ -111,6 +131,19 @@ class AsyncFrontend:
         self._clock = clock
         self.max_round_retries = max_round_retries
         self.on_retry = on_retry
+        self.shard = shard
+        self._round_labels = ({"policy": self.policy.name} if shard is None
+                              else {"policy": self.policy.name,
+                                    "shard": shard})
+        if executor is None:
+            self._executor: Executor = ThreadPoolExecutor(
+                max_workers=1,
+                thread_name_prefix="serve-round" if shard is None
+                else f"serve-round-{shard}")
+            self._owns_executor = True
+        else:
+            self._executor = executor
+            self._owns_executor = False
         self._pending: deque[_Waiter] = deque()
         self._wakeup = asyncio.Event()
         self._closed = False
@@ -137,6 +170,8 @@ class AsyncFrontend:
         if self._dispatcher is not None:
             await self._dispatcher
             self._dispatcher = None
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
 
     async def __aenter__(self) -> "AsyncFrontend":
         return await self.start()
@@ -163,8 +198,16 @@ class AsyncFrontend:
         if OBS.enabled:
             OBS.registry.counter("serve.requests.total",
                                  op=request.op.value).inc()
-            OBS.registry.gauge("serve.pending.depth").set(
-                self.admission.depth)
+            if self.shard is None:
+                OBS.registry.gauge("serve.pending.depth").set(
+                    self.admission.depth)
+            else:
+                OBS.registry.counter("serve.shard.requests.total",
+                                     shard=self.shard,
+                                     op=request.op.value).inc()
+                OBS.registry.gauge("serve.shard.pending.depth",
+                                   shard=self.shard).set(
+                    self.admission.depth)
         waiter = _Waiter(request, asyncio.get_running_loop().create_future(),
                          self._clock())
         self._pending.append(waiter)
@@ -214,21 +257,26 @@ class AsyncFrontend:
             start = time.perf_counter()
             for waiter in take:
                 OBS.registry.histogram("serve.wait.seconds",
-                                       policy=self.policy.name).observe(
+                                       **self._round_labels).observe(
                     max(0.0, now - waiter.enqueued_at))
-            OBS.registry.gauge("serve.pending.depth").set(
-                self.admission.depth)
+            if self.shard is None:
+                OBS.registry.gauge("serve.pending.depth").set(
+                    self.admission.depth)
+            else:
+                OBS.registry.gauge("serve.shard.pending.depth",
+                                   shard=self.shard).set(
+                    self.admission.depth)
         loop = asyncio.get_running_loop()
         try:
             responses = await loop.run_in_executor(
-                None, self._execute_with_retry, requests)
+                self._executor, self._execute_with_retry, requests)
         except BaseException as error:  # noqa: BLE001 - deliver to waiters
             for waiter in take:
                 if not waiter.future.done():
                     waiter.future.set_exception(error)
             if observing:
                 OBS.observe_span("serve.round", time.perf_counter() - start,
-                                 labels={"policy": self.policy.name},
+                                 labels=self._round_labels,
                                  requests=len(take), error=True)
             return
         by_id = {resp.request_id: resp.value for resp in responses}
@@ -237,9 +285,12 @@ class AsyncFrontend:
                 waiter.future.set_result(by_id[waiter.request.request_id])
         if observing:
             OBS.registry.counter("serve.rounds.total",
-                                 policy=self.policy.name).inc()
+                                 **self._round_labels).inc()
+            if self.shard is not None:
+                OBS.registry.counter("serve.shard.rounds.total",
+                                     shard=self.shard).inc()
             OBS.observe_span("serve.round", time.perf_counter() - start,
-                             labels={"policy": self.policy.name},
+                             labels=self._round_labels,
                              requests=len(take), error=False)
 
     def _execute_with_retry(self,
@@ -275,4 +326,6 @@ class AsyncFrontend:
             real_requests=sum(self.round_sizes),
             empty_rounds=sum(1 for size in self.round_sizes if size == 0),
         )
+        if self.shard is not None:
+            row["shard"] = self.shard
         return row

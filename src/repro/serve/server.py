@@ -19,6 +19,12 @@ command    arguments                              reply
 ``STATS``  —                                      ``[admitted, shed,
                                                   depth, high_water,
                                                   rounds]``
+``SHARDS``  —                                     per-partition
+                                                  ``[admitted, shed,
+                                                  depth, high_water,
+                                                  rounds]`` rows (one
+                                                  row for an unsharded
+                                                  frontend)
 =========  =====================================  =======================
 
 Failure behaviour is the battery's whole point:
@@ -51,13 +57,16 @@ __all__ = ["ServeServer"]
 
 
 class ServeServer:
-    """Serve an :class:`AsyncFrontend` over TCP.
+    """Serve an :class:`AsyncFrontend` (or `ShardedFrontend`) over TCP.
 
     Parameters
     ----------
     frontend:
         The coalescing core to expose (not yet started; :meth:`start`
-        starts both).
+        starts both).  Anything with the frontend surface works —
+        ``start``/``close``/``get``/``put``/``stats`` — so the sharded
+        multi-proxy frontend (:mod:`repro.serve.sharded`) plugs in
+        unchanged.
     host / port:
         Bind address; port 0 picks a free port (see :attr:`address`).
     """
@@ -147,6 +156,14 @@ class ServeServer:
                 stats = self.frontend.stats()
                 return [stats["admitted"], stats["shed"], stats["depth"],
                         stats["high_water"], stats["rounds"]]
+            if name == "SHARDS":
+                per_partition = getattr(self.frontend,
+                                        "per_partition_stats", None)
+                rows = (per_partition() if per_partition is not None
+                        else [self.frontend.stats()])
+                return [[row["admitted"], row["shed"], row["depth"],
+                         row["high_water"], row["rounds"]]
+                        for row in rows]
             return ValueError(f"unknown command {name!r}")
         except ClosedError as error:
             return error

@@ -55,6 +55,32 @@ class TestConstruction:
         assert first == [store.partition_of(key) for key in keys]
         assert len(set(first)) == PARTITIONS
 
+    def test_bulk_router_matches_scalar_router(self):
+        store = build()
+        keys = [f"probe{i}" for i in range(500)]
+        assert store.partition_of_many(keys) == \
+            [store.partition_of(key) for key in keys]
+        # Accepts any iterable, not just sequences.
+        assert store.partition_of_many(iter(keys[:10])) == \
+            [store.partition_of(key) for key in keys[:10]]
+        assert store.partition_of_many([]) == []
+
+    def test_routing_unchanged_by_hasher_hoist(self):
+        """The precomputed-hasher fast path is the same keyed blake2s
+        router: pin a few absolute assignments so a routing change
+        (which would shuffle every deployment's layout) cannot slip in
+        as a perf tweak."""
+        import hashlib
+
+        store = build()
+        route_key = hashlib.sha256(b"route:9").digest()[:8]
+        for key in ("probe0", "probe1", "waffle", "key00000042"):
+            reference = int.from_bytes(
+                hashlib.blake2s(key.encode(), key=route_key,
+                                digest_size=8).digest(),
+                "big") % PARTITIONS
+            assert store.partition_of(key) == reference
+
 
 class TestExecution:
     def test_cross_partition_batch(self):

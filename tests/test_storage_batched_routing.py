@@ -11,6 +11,7 @@ by shard/partition makes ordering bugs easiest to introduce.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 import pytest
@@ -177,5 +178,7 @@ class TestPartitionedBatchOrdering:
         other = PartitionedWaffle.__new__(PartitionedWaffle)
         other.partitions = PARTITIONS
         other._route_key = store._route_key
+        other._hasher_proto = hashlib.blake2s(key=store._route_key,
+                                              digest_size=8)
         assert [other.partition_of(k) for k in keys] \
             == [store.partition_of(k) for k in keys]
